@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures: paper-scale databases, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generators import (
+    populate_employee_department,
+    populate_printer_accounting,
+)
+from repro.workloads.schemas import make_employee_department, make_printer_schema
+
+
+@pytest.fixture(scope="session")
+def figure1_db():
+    """Example 1 at the paper's scale: 10000 employees, 100 departments."""
+    db = make_employee_department()
+    populate_employee_department(db, n_employees=10000, n_departments=100, seed=1)
+    return db
+
+
+@pytest.fixture(scope="session")
+def printer_db_bench():
+    """Examples 3/5 at a substantial scale."""
+    db = make_printer_schema()
+    populate_printer_accounting(
+        db, n_users=1000, n_machines=5, n_printers=30, auths_per_user=4, seed=2
+    )
+    return db

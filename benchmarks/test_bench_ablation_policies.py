@@ -1,0 +1,119 @@
+"""Ablation (extension): what does cost-based plan choice buy?
+
+The paper's Section 7 argues the eager/standard decision must be
+cost-based.  We quantify that by running three policies —
+``always_eager``, ``never_eager``, and ``cost`` — across both regimes and
+comparing *measured* engine work.  The cost-based policy must match the
+best fixed policy in each regime; each fixed policy must lose badly in
+one of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.ops import AggregateSpec
+from repro.core.query_class import GroupByJoinQuery
+from repro.engine.executor import execute
+from repro.expressions.builder import and_, col, eq, le, lit, sum_
+from repro.fd.derivation import TableBinding
+from repro.optimizer.planner import Planner
+from repro.workloads.generators import TwoTableSpec, make_two_table
+
+N_A = 3000
+N_B = 30
+
+
+def dense_query():
+    """Figure 1 regime: dense join, few groups."""
+    return GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=eq(col("A.BRef"), col("B.BId")),
+        ga1=[],
+        ga2=["B.BId", "B.Name"],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def selective_query():
+    """Figure 8 regime: selective join, many eager groups."""
+    return GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=and_(
+            eq(col("A.BRef"), col("B.BId")),
+            le(col("B.BId"), lit(1)),  # 1-in-30 join selectivity
+        ),
+        ga1=["A.GKey"],
+        ga2=["B.BId", "B.Name"],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def regimes():
+    dense_db = make_two_table(
+        TwoTableSpec(n_a=N_A, n_b=N_B, a_groups=N_B, bref_mode="correlated", seed=1)
+    )
+    selective_db = make_two_table(
+        TwoTableSpec(
+            n_a=N_A, n_b=N_B, a_groups=2900, bref_mode="correlated", seed=2
+        )
+    )
+    return (
+        ("figure1-regime", dense_db, dense_query()),
+        ("figure8-regime", selective_db, selective_query()),
+    )
+
+
+def measured_work(db, query, policy):
+    choice = Planner(db, policy=policy, join_algorithm="nested_loop").choose(query)
+    from repro.engine.executor import ExecutorConfig
+
+    __, stats = execute(
+        db, choice.plan, ExecutorConfig(join_algorithm="nested_loop")
+    )
+    return stats.total_work(), choice.strategy
+
+
+def test_cost_policy_tracks_the_winner():
+    table = []
+    for name, db, query in regimes():
+        work = {}
+        strategies = {}
+        for policy in ("always_eager", "never_eager", "cost"):
+            work[policy], strategies[policy] = measured_work(db, query, policy)
+        table.append((name, work, strategies["cost"]))
+        best_fixed = min(work["always_eager"], work["never_eager"])
+        # The cost policy must be within 5% of the best fixed policy.
+        assert work["cost"] <= best_fixed * 1.05, (name, work)
+    print("\n regime          | always_eager | never_eager | cost (picked)")
+    for name, work, picked in table:
+        print(
+            f" {name:<15} | {work['always_eager']:>12} | "
+            f"{work['never_eager']:>11} | {work['cost']} ({picked})"
+        )
+
+
+def test_each_fixed_policy_loses_somewhere():
+    losses = {"always_eager": 0.0, "never_eager": 0.0}
+    for __, db, query in regimes():
+        work = {
+            policy: measured_work(db, query, policy)[0]
+            for policy in ("always_eager", "never_eager")
+        }
+        best = min(work.values())
+        for policy, value in work.items():
+            losses[policy] = max(losses[policy], value / best)
+    # Each heuristic is at least 30% worse than optimal in some regime.
+    assert losses["always_eager"] > 1.3
+    assert losses["never_eager"] > 1.3
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("policy", ["always_eager", "never_eager", "cost"])
+def test_bench_policies_on_selective_regime(benchmark, policy):
+    __, db, query = regimes()[1]
+    planner = Planner(db, policy=policy)
+    plan = planner.choose(query).plan
+    benchmark.pedantic(lambda: execute(db, plan)[0], rounds=3, iterations=1)

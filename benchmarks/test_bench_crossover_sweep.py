@@ -1,0 +1,170 @@
+"""Section 7 observations as a parameter sweep: where does eager stop winning?
+
+The paper's qualitative claims:
+
+1. the transformation *cannot increase* the join input cardinality;
+2. it may increase or decrease the group-by input, depending on join
+   selectivity;
+3. therefore the winner flips somewhere between the Figure 1 regime
+   (dense join, few groups) and the Figure 8 regime (selective join,
+   many groups).
+
+The sweep varies the number of eager groups at fixed table sizes, prints
+the series, and asserts the crossover exists and is bracketed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.ops import AggregateSpec
+from repro.core.query_class import GroupByJoinQuery
+from repro.core.transform import build_eager_plan, build_standard_plan
+from repro.engine.executor import execute
+from repro.expressions.builder import col, eq, sum_
+from repro.fd.derivation import TableBinding
+from repro.workloads.generators import TwoTableSpec, make_two_table
+
+N_A = 3000
+N_B = 30
+
+
+def sweep_query(grouped_on_gkey: bool):
+    ga1 = ["A.GKey"] if grouped_on_gkey else []
+    return GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=eq(col("A.BRef"), col("B.BId")),
+        ga1=ga1,
+        ga2=["B.BId", "B.Name"],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def measure(db, query):
+    __, standard_stats = execute(db, build_standard_plan(query))
+    __, eager_stats = execute(db, build_eager_plan(query))
+    return standard_stats, eager_stats
+
+
+class TestObservation1JoinNeverGrows:
+    """Eager join input ≤ standard join input, across the whole sweep."""
+
+    @pytest.mark.parametrize("groups", [10, 100, 1000, 2900])
+    def test_join_input_never_increases(self, groups):
+        db = make_two_table(
+            TwoTableSpec(n_a=N_A, n_b=N_B, a_groups=groups, seed=groups)
+        )
+        standard_stats, eager_stats = measure(db, sweep_query(True))
+        (standard_join,) = standard_stats.join_input_sizes()
+        (eager_join,) = eager_stats.join_input_sizes()
+        assert eager_join[0] <= standard_join[0]
+        assert eager_join[1] == standard_join[1]
+
+
+class TestObservation2GroupInputVaries:
+    def test_selective_join_shrinks_standard_group_input(self):
+        """With 1% match fraction the standard plan groups very few rows,
+        while the eager plan still groups all of A."""
+        db = make_two_table(
+            TwoTableSpec(
+                n_a=N_A, n_b=N_B, a_groups=2000, match_fraction=0.01, seed=7
+            )
+        )
+        standard_stats, eager_stats = measure(db, sweep_query(True))
+        assert standard_stats.groupby_input_rows() < 100
+        assert eager_stats.groupby_input_rows() == N_A
+
+    def test_dense_join_same_group_input(self):
+        """Fully matching join: both plans group ~|A| rows."""
+        db = make_two_table(
+            TwoTableSpec(n_a=N_A, n_b=N_B, a_groups=30, match_fraction=1.0, seed=8)
+        )
+        standard_stats, eager_stats = measure(db, sweep_query(True))
+        assert standard_stats.groupby_input_rows() == N_A
+        assert eager_stats.groupby_input_rows() == N_A
+
+
+class TestObservation3Crossover:
+    """A selective B-side filter (C2 keeps 10% of B) plus a correlated
+    BRef isolates the group-count lever: the standard plan groups only the
+    join survivors, the eager plan always groups all of A.  Work is
+    measured with nested-loop joins — the |L| × |R| metric the paper's
+    figures annotate."""
+
+    @staticmethod
+    def selective_query():
+        from repro.expressions.builder import and_, le, lit
+
+        return GroupByJoinQuery(
+            r1=[TableBinding("A", "A")],
+            r2=[TableBinding("B", "B")],
+            where=and_(
+                eq(col("A.BRef"), col("B.BId")),
+                le(col("B.BId"), lit(N_B // 10)),
+            ),
+            ga1=["A.GKey"],
+            ga2=["B.BId", "B.Name"],
+            aggregates=[AggregateSpec("s", sum_("A.Val"))],
+        )
+
+    @staticmethod
+    def measure_nl(db, query):
+        from repro.engine.executor import ExecutorConfig
+
+        config = ExecutorConfig(join_algorithm="nested_loop")
+        __, standard_stats = execute(db, build_standard_plan(query), config)
+        __, eager_stats = execute(db, build_eager_plan(query), config)
+        return standard_stats, eager_stats
+
+    def test_crossover_in_group_count(self):
+        """Measured engine work: eager wins at few groups, loses at many."""
+        rows = []
+        winners = {}
+        for groups in (10, 50, 200, 800, 2900):
+            db = make_two_table(
+                TwoTableSpec(
+                    n_a=N_A, n_b=N_B, a_groups=groups,
+                    bref_mode="correlated", seed=groups,
+                )
+            )
+            standard_stats, eager_stats = self.measure_nl(db, self.selective_query())
+            standard_work = standard_stats.total_work()
+            eager_work = eager_stats.total_work()
+            winner = "eager" if eager_work < standard_work else "standard"
+            winners[groups] = winner
+            rows.append((groups, standard_work, eager_work, winner))
+        print("\n groups | standard work | eager work | winner")
+        for groups, sw, ew, winner in rows:
+            print(f" {groups:>6} | {sw:>13} | {ew:>10} | {winner}")
+        assert winners[10] == "eager"
+        assert winners[2900] == "standard"
+        # The winner flips exactly once along the sweep.
+        flips = sum(
+            1
+            for a, b in zip(list(winners.values()), list(winners.values())[1:])
+            if a != b
+        )
+        assert flips == 1
+
+    def test_results_identical_across_sweep(self):
+        for groups in (10, 800):
+            db = make_two_table(
+                TwoTableSpec(n_a=N_A, n_b=N_B, a_groups=groups, seed=groups)
+            )
+            query = sweep_query(True)
+            standard, __ = execute(db, build_standard_plan(query))
+            eager, __ = execute(db, build_eager_plan(query))
+            assert standard.equals_multiset(eager)
+
+
+@pytest.mark.benchmark(group="crossover")
+@pytest.mark.parametrize("groups", [10, 2900])
+@pytest.mark.parametrize("strategy", ["standard", "eager"])
+def test_bench_sweep_endpoints(benchmark, groups, strategy):
+    db = make_two_table(
+        TwoTableSpec(n_a=N_A, n_b=N_B, a_groups=groups, match_fraction=0.05, seed=groups)
+    )
+    query = sweep_query(True)
+    plan = build_standard_plan(query) if strategy == "standard" else build_eager_plan(query)
+    benchmark.pedantic(lambda: execute(db, plan)[0], rounds=3, iterations=1)

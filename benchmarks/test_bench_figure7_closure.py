@@ -1,0 +1,58 @@
+"""Figure 7: the TestFD transitive-closure illustration.
+
+From ``A1 = 25``, ``A1 → A3`` (a key dependency) and ``A3 = A4``, conclude
+``A2 → A4``.  The bench also measures raw closure speed at growing sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fd.closure import closure, implies
+from repro.fd.dependency import FunctionalDependency
+
+FD = FunctionalDependency
+
+
+def figure7_fds():
+    return [
+        FD([], ["A1"]),        # a: A1 = 25 -> A1 constant in the result
+        FD(["A1"], ["A3"]),    # b: A1 -> A3
+        FD(["A3"], ["A4"]),    # c: A3 = A4 (both directions)
+        FD(["A4"], ["A3"]),
+    ]
+
+
+def test_figure7_conclusion():
+    """A2 -> A4, via constant + key + equality transitivity."""
+    result = closure(["A2"], figure7_fds())
+    print(f"\nclosure({{A2}}) = {sorted(result)}")
+    assert result == frozenset({"A1", "A2", "A3", "A4"})
+    assert implies(figure7_fds(), FD(["A2"], ["A4"]))
+
+
+def test_figure7_each_arc_needed():
+    """Dropping any of the three given facts breaks the conclusion."""
+    fds = figure7_fds()
+    without_constant = fds[1:]
+    without_key = [fds[0]] + fds[2:]
+    without_equality = fds[:2]
+    assert not implies(without_constant, FD(["A2"], ["A4"]))
+    assert not implies(without_key, FD(["A2"], ["A4"]))
+    assert not implies(without_equality, FD(["A2"], ["A4"]))
+
+
+def chain_fds(n):
+    """A constant seed plus a chain of n equalities: worst-case passes."""
+    fds = [FD([], ["c0"])]
+    for i in range(n):
+        fds.append(FD([f"c{i}"], [f"c{i + 1}"]))
+    return fds
+
+
+@pytest.mark.benchmark(group="figure7")
+@pytest.mark.parametrize("size", [10, 100, 500])
+def test_bench_closure_chain(benchmark, size):
+    fds = chain_fds(size)
+    result = benchmark(lambda: closure(["x"], fds))
+    assert f"c{size}" in result

@@ -1,0 +1,109 @@
+"""A realistic star-schema reporting workload (the intro's motivation).
+
+Not a figure from the paper, but the workload class its introduction
+motivates: a large fact table joined with small dimensions, grouped by
+dimension attributes.  The bench checks the planner's calls across the
+report mix and times the eager-eligible query both ways.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import execute
+from repro.parser.binder import bind_select
+from repro.parser.parser import parse_statement
+from repro.core.partition import to_group_by_join_query
+from repro.core.transform import build_eager_plan, build_standard_plan
+from repro.optimizer.planner import Planner
+from repro.session import Session
+from repro.workloads.generators import populate_retail
+from repro.workloads.schemas import make_retail_star
+
+PER_CUSTOMER_SQL = (
+    "SELECT C.CustID, C.Name, SUM(S.Amount) AS total "
+    "FROM Sales S, Customer C WHERE S.CustID = C.CustID "
+    "GROUP BY C.CustID, C.Name"
+)
+
+BY_REGION_SQL = (
+    "SELECT St.Region, SUM(S.Amount) AS revenue "
+    "FROM Sales S, Store St WHERE S.StoreID = St.StoreID "
+    "GROUP BY St.Region"
+)
+
+
+@pytest.fixture(scope="module")
+def retail_db():
+    db = make_retail_star()
+    populate_retail(db, n_sales=8000, n_customers=400, n_products=60, n_stores=12, seed=3)
+    return db
+
+
+def test_key_grouped_report_is_transformable(retail_db):
+    """Grouping on a dimension key: the planner proves and takes eager."""
+    choice = Planner(retail_db).choose(
+        to_group_by_join_query(
+            bind_select(retail_db, parse_statement(PER_CUSTOMER_SQL))
+        )
+    )
+    assert choice.decision.valid
+    assert choice.strategy == "eager"
+
+
+def test_attribute_grouped_report_is_not(retail_db):
+    """Grouping on Region (not a key): FD2 unprovable, standard plan kept.
+
+    (Pushing a *partial* aggregate below the join needs the eager-count
+    generalization of the authors' 1995 follow-up — out of scope here.)"""
+    choice = Planner(retail_db).choose(
+        to_group_by_join_query(
+            bind_select(retail_db, parse_statement(BY_REGION_SQL))
+        )
+    )
+    assert not choice.decision.valid
+    assert choice.strategy == "standard"
+
+
+def test_eager_shrinks_fact_side(retail_db):
+    query = to_group_by_join_query(
+        bind_select(retail_db, parse_statement(PER_CUSTOMER_SQL))
+    )
+    standard, standard_stats = execute(retail_db, build_standard_plan(query))
+    eager, eager_stats = execute(retail_db, build_eager_plan(query))
+    assert standard.equals_multiset(eager)
+    ((standard_left, __),) = standard_stats.join_input_sizes()
+    ((eager_left, __),) = eager_stats.join_input_sizes()
+    assert standard_left == 8000
+    assert eager_left <= 400  # one row per customer that bought anything
+
+
+def test_full_report_mix_correct(retail_db):
+    """Session-level: every report returns the same rows under all
+    policies (the planner's choice is invisible to the user)."""
+    queries = [PER_CUSTOMER_SQL, BY_REGION_SQL]
+    for sql in queries:
+        results = [
+            Session(retail_db, policy=policy).query(sql)
+            for policy in ("cost", "always_eager", "never_eager")
+        ]
+        assert results[0].equals_multiset(results[1])
+        assert results[0].equals_multiset(results[2])
+
+
+@pytest.mark.benchmark(group="star-schema")
+def test_bench_per_customer_standard(benchmark, retail_db):
+    query = to_group_by_join_query(
+        bind_select(retail_db, parse_statement(PER_CUSTOMER_SQL))
+    )
+    plan = build_standard_plan(query)
+    benchmark.pedantic(lambda: execute(retail_db, plan)[0], rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="star-schema")
+def test_bench_per_customer_eager(benchmark, retail_db):
+    query = to_group_by_join_query(
+        bind_select(retail_db, parse_statement(PER_CUSTOMER_SQL))
+    )
+    plan = build_eager_plan(query)
+    benchmark.pedantic(lambda: execute(retail_db, plan)[0], rounds=3, iterations=1)

@@ -1,0 +1,111 @@
+"""Section 6.3's design goal: TestFD is a *fast* algorithm.
+
+We measure its runtime as the query grows along each axis the algorithm
+is sensitive to — number of tables (keys), number of equality conjuncts,
+and number of disjunctive branches (DNF components) — and assert it stays
+in optimizer-compatible territory (well under a millisecond for realistic
+shapes, growing smoothly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.ops import AggregateSpec
+from repro.catalog import Column, Database, PrimaryKeyConstraint, TableSchema
+from repro.core.query_class import GroupByJoinQuery
+from repro.core.testfd import test_fd
+from repro.expressions.builder import and_, col, eq, lit, or_, sum_
+from repro.fd.derivation import TableBinding
+from repro.sqltypes import INTEGER
+
+
+def chain_db(n_tables):
+    """T0 - T1 - ... - Tn, each with a primary key and a ref column."""
+    db = Database()
+    for i in range(n_tables):
+        db.create_table(
+            TableSchema(
+                f"T{i}",
+                [
+                    Column("id", INTEGER),
+                    Column("ref", INTEGER),
+                    Column("v", INTEGER),
+                ],
+                [PrimaryKeyConstraint(["id"])],
+            )
+        )
+    return db
+
+
+def chain_query(n_tables):
+    """Aggregate T0.v, group by the far end's key, join along the chain."""
+    bindings = [TableBinding(f"T{i}", f"T{i}") for i in range(n_tables)]
+    conjuncts = [
+        eq(col(f"T{i}.ref"), col(f"T{i + 1}.id")) for i in range(n_tables - 1)
+    ]
+    return GroupByJoinQuery(
+        r1=[bindings[0]],
+        r2=bindings[1:],
+        where=and_(*conjuncts),
+        ga1=[],
+        ga2=[f"T{n_tables - 1}.id"] + [f"T{i}.id" for i in range(1, n_tables - 1)],
+        aggregates=[AggregateSpec("s", sum_("T0.v"))],
+    )
+
+
+class TestCorrectnessAtScale:
+    @pytest.mark.parametrize("n_tables", [2, 4, 8])
+    def test_chain_is_transformable(self, n_tables):
+        db = chain_db(n_tables)
+        result = test_fd(db, chain_query(n_tables))
+        assert result.decision
+
+    def test_disjunction_blowup_guarded(self):
+        """A predicate whose DNF exceeds the cap is refused, not hung."""
+        db = chain_db(2)
+        branches = [
+            or_(eq(col("T0.v"), lit(i)), eq(col("T0.ref"), lit(i)))
+            for i in range(20)
+        ]
+        query = GroupByJoinQuery(
+            r1=[TableBinding("T0", "T0")],
+            r2=[TableBinding("T1", "T1")],
+            where=and_(eq(col("T0.ref"), col("T1.id")), *branches),
+            ga1=[],
+            ga2=["T1.id"],
+            aggregates=[AggregateSpec("s", sum_("T0.v"))],
+        )
+        result = test_fd(db, query, max_dnf_terms=256)
+        assert not result.decision
+        assert "too large" in result.reason
+
+
+@pytest.mark.benchmark(group="testfd-speed")
+@pytest.mark.parametrize("n_tables", [2, 4, 8, 16])
+def test_bench_testfd_vs_table_count(benchmark, n_tables):
+    db = chain_db(n_tables)
+    query = chain_query(n_tables)
+    result = benchmark(lambda: test_fd(db, query))
+    assert result.decision
+
+
+@pytest.mark.benchmark(group="testfd-speed")
+@pytest.mark.parametrize("n_branches", [1, 4, 8])
+def test_bench_testfd_vs_dnf_components(benchmark, n_branches):
+    """Each OR of two equalities doubles the DNF component count."""
+    db = chain_db(2)
+    extra = [
+        or_(eq(col("T0.v"), lit(i)), eq(col("T0.v"), lit(i + 100)))
+        for i in range(n_branches)
+    ]
+    query = GroupByJoinQuery(
+        r1=[TableBinding("T0", "T0")],
+        r2=[TableBinding("T1", "T1")],
+        where=and_(eq(col("T0.ref"), col("T1.id")), *extra),
+        ga1=[],
+        ga2=["T1.id"],
+        aggregates=[AggregateSpec("s", sum_("T0.v"))],
+    )
+    result = benchmark(lambda: test_fd(db, query, max_dnf_terms=1 << 20))
+    assert result.decision

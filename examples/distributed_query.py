@@ -1,0 +1,65 @@
+"""Section 7's distributed argument: ship one row per group, not the table.
+
+Two-site model: the fact table A lives on site 1, the dimension B on
+site 2, the join executes at site 2.  The standard plan transfers every
+filtered A row; the eager plan transfers one row per group.
+
+Run:  python examples/distributed_query.py
+"""
+
+from repro.algebra.ops import AggregateSpec, Join
+from repro.core.query_class import GroupByJoinQuery
+from repro.core.transform import build_eager_plan, build_standard_plan
+from repro.expressions.builder import col, eq, sum_
+from repro.fd.derivation import TableBinding
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel, DistributedCostModel, NetworkWeights
+from repro.workloads.generators import TwoTableSpec, make_two_table
+
+
+def main() -> None:
+    n_a, n_b, groups = 20000, 100, 100
+    db = make_two_table(
+        TwoTableSpec(n_a=n_a, n_b=n_b, a_groups=groups, bref_mode="correlated", seed=1)
+    )
+    query = GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=eq(col("A.BRef"), col("B.BId")),
+        ga1=[],
+        ga2=["B.BId", "B.Name"],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+    standard_plan = build_standard_plan(query)
+    eager_plan = build_eager_plan(query)
+    standard_shipped = standard_plan.child.child.child.left  # the raw A scan
+    join = eager_plan.child
+    assert isinstance(join, Join)
+    eager_shipped = join.left  # the aggregated R1 block
+
+    estimator = CardinalityEstimator(db)
+    print(f"|A| = {n_a}, groups = {groups}")
+    print(f"rows shipped, standard plan: {estimator.rows(standard_shipped):.0f}")
+    print(f"rows shipped, eager plan:    {estimator.rows(eager_shipped):.0f}")
+    print()
+    print(" per-row net cost | total standard | total eager | eager saves")
+    print("------------------+----------------+-------------+------------")
+    for per_row in (1.0, 10.0, 100.0, 1000.0):
+        model = DistributedCostModel(
+            CostModel(estimator), NetworkWeights(per_row=per_row)
+        )
+        standard_total = model.cost_with_transfer(standard_plan, standard_shipped)
+        eager_total = model.cost_with_transfer(eager_plan, eager_shipped)
+        saving = 100.0 * (standard_total - eager_total) / standard_total
+        print(
+            f" {per_row:>16.0f} | {standard_total:>14.0f} | "
+            f"{eager_total:>11.0f} | {saving:>9.1f}%"
+        )
+    print()
+    print('"Since communication costs often dominate the query processing')
+    print('cost, this may reduce the overall cost significantly." — §7')
+
+
+if __name__ == "__main__":
+    main()

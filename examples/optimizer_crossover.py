@@ -1,0 +1,73 @@
+"""Section 7's trade-off, live: sweep the eager group count and watch the
+winner flip from the eager plan (Figure 1 regime) to the standard plan
+(Figure 8 regime).
+
+Run:  python examples/optimizer_crossover.py
+"""
+
+from repro.algebra.ops import AggregateSpec
+from repro.core.query_class import GroupByJoinQuery
+from repro.core.transform import build_eager_plan, build_standard_plan
+from repro.engine.executor import ExecutorConfig, execute
+from repro.expressions.builder import and_, col, eq, le, lit, sum_
+from repro.fd.derivation import TableBinding
+from repro.optimizer.planner import Planner
+from repro.workloads.generators import TwoTableSpec, make_two_table
+
+N_A = 3000
+N_B = 30
+
+
+def selective_query():
+    return GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=and_(
+            eq(col("A.BRef"), col("B.BId")),
+            le(col("B.BId"), lit(N_B // 10)),
+        ),
+        ga1=["A.GKey"],
+        ga2=["B.BId", "B.Name"],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def main() -> None:
+    config = ExecutorConfig(join_algorithm="nested_loop")
+    print(f"|A| = {N_A}, |B| = {N_B}, join keeps 10% of B")
+    print()
+    print(" groups | work(standard) | work(eager) | measured winner | planner picks")
+    print("--------+----------------+-------------+-----------------+--------------")
+    for groups in (10, 30, 100, 300, 1000, 2000, 2900):
+        db = make_two_table(
+            TwoTableSpec(
+                n_a=N_A, n_b=N_B, a_groups=groups,
+                bref_mode="correlated", seed=groups,
+            )
+        )
+        query = selective_query()
+        __, standard_stats = execute(db, build_standard_plan(query), config)
+        __, eager_stats = execute(db, build_eager_plan(query), config)
+        standard_work = standard_stats.total_work()
+        eager_work = eager_stats.total_work()
+        winner = "eager" if eager_work < standard_work else "standard"
+        picked = Planner(db, join_algorithm="nested_loop").choose(query).strategy
+        marker = "" if picked == winner else "  (!)"
+        print(
+            f" {groups:>6} | {standard_work:>14} | {eager_work:>11} | "
+            f"{winner:<15} | {picked}{marker}"
+        )
+    print()
+    print("The transformation never grows the join input (observation 1),")
+    print("but past the crossover the eager group-by does more work than")
+    print("the selective join saves (observation 2 / Figure 8).")
+    print()
+    print("Rows marked (!) are planner misses: GKey and BRef are correlated")
+    print("in this workload, and the independence-assuming estimator then")
+    print("overestimates the eager group count — it errs toward the safe")
+    print("standard plan in the mid-range, a classic cardinality-estimation")
+    print("artifact rather than a flaw in the transformation theory.")
+
+
+if __name__ == "__main__":
+    main()

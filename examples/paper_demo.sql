@@ -1,0 +1,36 @@
+-- Example 1 from Yan & Larson (ICDE 1994), runnable in the SQL shell:
+--
+--     python -m repro examples/paper_demo.sql
+--
+-- or interactively:  sql> .script examples/paper_demo.sql
+
+CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30));
+
+CREATE TABLE Employee (
+  EmpID INTEGER PRIMARY KEY,
+  LastName VARCHAR(30) NOT NULL,
+  FirstName VARCHAR(30),
+  DeptID INTEGER REFERENCES Department (DeptID));
+
+INSERT INTO Department VALUES
+  (1, 'Engineering'), (2, 'Sales'), (3, 'Support'), (4, 'Research');
+
+INSERT INTO Employee VALUES
+  (1, 'Yan', 'Weipeng', 1),
+  (2, 'Larson', 'Per-Ake', 1),
+  (3, 'Klug', 'Anthony', 2),
+  (4, 'Dayal', 'Umeshwar', 2),
+  (5, 'Kim', 'Won', 3),
+  (6, 'Kiessling', 'Werner', 3),
+  (7, 'Ganski', 'Richard', 4),
+  (8, 'Wong', 'Harry', 4),
+  (9, 'Negri', 'Mauro', 1),
+  (10, 'Codd', 'Edgar', NULL);
+
+-- The paper's Example 1 query: the optimizer decides whether to push the
+-- group-by below the join (use .explain to see the decision in detail).
+SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS headcount
+FROM Employee E, Department D
+WHERE E.DeptID = D.DeptID
+GROUP BY D.DeptID, D.Name
+ORDER BY headcount DESC;

@@ -1,0 +1,54 @@
+"""Quickstart: create tables, load rows, and watch the optimizer push a
+group-by below a join.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Session
+
+
+def main() -> None:
+    session = Session()
+
+    # Example 1's schema from the paper, straight SQL.
+    session.execute(
+        "CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30))"
+    )
+    session.execute(
+        """
+        CREATE TABLE Employee (
+          EmpID INTEGER PRIMARY KEY,
+          LastName VARCHAR(30) NOT NULL,
+          FirstName VARCHAR(30),
+          DeptID INTEGER REFERENCES Department (DeptID))
+        """
+    )
+
+    for dept_id, name in enumerate(
+        ["Engineering", "Sales", "Support", "Research"], start=1
+    ):
+        session.execute(f"INSERT INTO Department VALUES ({dept_id}, '{name}')")
+    for emp_id in range(1, 41):
+        dept_id = (emp_id % 4) + 1
+        session.execute(
+            f"INSERT INTO Employee VALUES ({emp_id}, 'Last{emp_id}', "
+            f"'First{emp_id}', {dept_id})"
+        )
+
+    # The paper's Example 1 query: employees counted per department.
+    report = session.report(
+        "SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS headcount "
+        "FROM Employee E, Department D "
+        "WHERE E.DeptID = D.DeptID "
+        "GROUP BY D.DeptID, D.Name"
+    )
+
+    print("Result:")
+    print(report.result.to_pretty())
+    print()
+    print("What the optimizer did:")
+    print(report.explain())
+
+
+if __name__ == "__main__":
+    main()

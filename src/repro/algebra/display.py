@@ -1,0 +1,59 @@
+"""Plan rendering: indented trees and Figure-1-style cardinality annotations.
+
+:func:`render_plan` prints a logical plan as an indented tree.
+:func:`render_annotated` additionally shows, per operator, the observed
+input/output cardinalities collected during execution — this is how the
+benchmark harness regenerates the numbers drawn on Figure 1 and Figure 8
+(e.g. "Join 10000 x 100 -> 10000" vs "Join 100 x 100 -> 100").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algebra.ops import Join, PlanNode, Product
+
+
+def render_plan(plan: PlanNode, indent: str = "  ") -> str:
+    """Multi-line indented rendering of a plan tree (root first)."""
+    lines: List[str] = []
+
+    def recurse(node: PlanNode, depth: int) -> None:
+        lines.append(f"{indent * depth}{node.label()}")
+        for child in node.children():
+            recurse(child, depth + 1)
+
+    recurse(plan, 0)
+    return "\n".join(lines)
+
+
+def render_annotated(
+    plan: PlanNode,
+    cardinalities: Dict[int, "tuple[tuple[int, ...], int]"],
+    indent: str = "  ",
+) -> str:
+    """Render with per-node observed cardinalities.
+
+    ``cardinalities`` maps ``id(node)`` to ``(input_cardinalities,
+    output_cardinality)`` as recorded by the executor.  Binary nodes show
+    ``a x b -> out`` the way the paper annotates its plan figures.
+    """
+    lines: List[str] = []
+
+    def recurse(node: PlanNode, depth: int) -> None:
+        annotation = ""
+        record = cardinalities.get(id(node))
+        if record is not None:
+            inputs, output = record
+            if isinstance(node, (Join, Product)) and len(inputs) == 2:
+                annotation = f"  [{inputs[0]} x {inputs[1]} -> {output}]"
+            elif inputs:
+                annotation = f"  [{inputs[0]} -> {output}]"
+            else:
+                annotation = f"  [-> {output}]"
+        lines.append(f"{indent * depth}{node.label()}{annotation}")
+        for child in node.children():
+            recurse(child, depth + 1)
+
+    recurse(plan, 0)
+    return "\n".join(lines)

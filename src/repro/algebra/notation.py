@@ -1,0 +1,76 @@
+"""Rendering plans in the paper's linear algebra notation.
+
+The paper writes E1 and E2 as operator strings, e.g.::
+
+    F[AA] π^A[SGA1, SGA2, AA] G[GA1, GA2] σ[C1 ∧ C0 ∧ C2] (R1 × R2)
+
+:func:`to_paper_notation` renders any logical plan tree that way, making
+plans directly comparable against the paper's formulas in docs, tests and
+``explain`` output.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ops import (
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    PlanNode,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+
+
+def to_paper_notation(plan: PlanNode) -> str:
+    """One-line rendering in the paper's Section 4.1 notation."""
+    if isinstance(plan, Relation):
+        if plan.alias and plan.alias != plan.table_name:
+            return f"{plan.table_name}@{plan.alias}"
+        return plan.table_name
+    if isinstance(plan, Select):
+        return f"σ[{plan.condition}] {_operand(plan.child)}"
+    if isinstance(plan, Project):
+        kind = "D" if plan.distinct else "A"
+        return f"π^{kind}[{', '.join(plan.columns)}] {_operand(plan.child)}"
+    if isinstance(plan, Product):
+        return f"({to_paper_notation(plan.left)} × {to_paper_notation(plan.right)})"
+    if isinstance(plan, Join):
+        if plan.condition is None:
+            return (
+                f"({to_paper_notation(plan.left)} × "
+                f"{to_paper_notation(plan.right)})"
+            )
+        return (
+            f"σ[{plan.condition}] ({to_paper_notation(plan.left)} × "
+            f"{to_paper_notation(plan.right)})"
+        )
+    if isinstance(plan, Group):
+        return f"G[{', '.join(plan.grouping_columns)}] {_operand(plan.child)}"
+    if isinstance(plan, Apply):
+        specs = ", ".join(str(s.expression) for s in plan.aggregates)
+        return f"F[{specs}] {_operand(plan.child)}"
+    if isinstance(plan, GroupApply):
+        specs = ", ".join(str(s.expression) for s in plan.aggregates)
+        return (
+            f"F[{specs}] G[{', '.join(plan.grouping_columns)}] "
+            f"{_operand(plan.child)}"
+        )
+    if isinstance(plan, Sort):
+        keys = ", ".join(
+            f"{c}{' desc' if d else ''}"
+            for c, d in zip(plan.columns, plan.descending)
+        )
+        return f"sort[{keys}] {_operand(plan.child)}"
+    raise TypeError(f"cannot render {type(plan).__name__}")
+
+
+def _operand(plan: PlanNode) -> str:
+    """Parenthesize leaf-or-binary operands; unary chains read linearly."""
+    text = to_paper_notation(plan)
+    if isinstance(plan, (Relation, Product, Join)):
+        return text if text.startswith("(") or " " not in text else f"({text})"
+    return f"({text})" if isinstance(plan, Sort) else text

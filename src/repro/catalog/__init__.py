@@ -1,0 +1,20 @@
+"""Catalog: schemas, the five SQL2 constraint classes, and the database."""
+
+from repro.catalog.catalog import Database
+from repro.catalog.constraints import (
+    Assertion,
+    CheckConstraint,
+    Domain,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+from repro.catalog.schema import Column, TableSchema
+
+__all__ = [
+    "Database",
+    "Assertion", "CheckConstraint", "Domain", "ForeignKeyConstraint",
+    "NotNullConstraint", "PrimaryKeyConstraint", "UniqueConstraint",
+    "Column", "TableSchema",
+]

@@ -1,0 +1,246 @@
+"""An interactive SQL shell over the engine: ``python -m repro``.
+
+Commands:
+
+* any SQL statement terminated by ``;`` — DDL/INSERT execute, SELECTs run
+  through the cost-based planner and print their result;
+* ``.explain <select>;`` — show the chosen strategy, estimated costs, the
+  TestFD verdict and the annotated plan instead of rows;
+* ``.script <path>`` — run a ``;``-separated SQL file;
+* ``.tables`` — list tables and views;
+* ``.policy cost|always_eager|never_eager`` — switch the planner policy;
+* ``.help`` / ``.quit``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, TextIO
+
+from repro.catalog.catalog import Database
+from repro.errors import ReproError
+from repro.optimizer.planner import POLICIES
+from repro.parser.ast_nodes import SelectStatement, SetOperationStatement
+from repro.parser.binder import execute_statement
+from repro.parser.parser import parse_script, parse_statement
+from repro.session import Session
+
+PROMPT = "sql> "
+CONTINUATION = "...> "
+
+HELP = """\
+Enter SQL terminated by ';'.  Dot-commands:
+  .explain <select>;   show plan choice, costs, TestFD verdict
+  .script <path>       run a SQL script file
+  .dump [path]         write schema + data as a SQL script (stdout if no path)
+  .open <path>         replace the session database from a dump script
+  .schema [table]      show CREATE TABLE DDL (all tables if none named)
+  .tables              list tables and views
+  .policy <name>       set planner policy (cost, always_eager, never_eager)
+  .help                this text
+  .quit                exit
+"""
+
+
+class Shell:
+    """The REPL's state and command dispatch (testable without a TTY)."""
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        out: TextIO = sys.stdout,
+    ) -> None:
+        self.session = session if session is not None else Session()
+        self.out = out
+        self.done = False
+
+    def write(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    # -- command handling ---------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        """Process one complete input (a dot-command or a SQL statement)."""
+        stripped = line.strip()
+        if not stripped:
+            return
+        if stripped.startswith("."):
+            self._dot_command(stripped)
+            return
+        self._run_sql(stripped.rstrip(";"))
+
+    def _dot_command(self, line: str) -> None:
+        command, __, argument = line.partition(" ")
+        argument = argument.strip()
+        if command in (".quit", ".exit"):
+            self.done = True
+        elif command == ".help":
+            self.write(HELP)
+        elif command == ".tables":
+            names = sorted(self.session.database.tables)
+            views = sorted(self.session.database.views)
+            self.write("tables: " + (", ".join(names) or "(none)"))
+            self.write("views:  " + (", ".join(views) or "(none)"))
+        elif command == ".policy":
+            if argument not in POLICIES:
+                self.write(f"unknown policy {argument!r}; pick one of {POLICIES}")
+                return
+            self.session.policy = argument
+            self.write(f"policy set to {argument}")
+        elif command == ".script":
+            self._run_script(argument)
+        elif command == ".explain":
+            self._explain(argument.rstrip(";"))
+        elif command == ".dump":
+            self._dump(argument)
+        elif command == ".open":
+            self._open(argument)
+        elif command == ".schema":
+            self._schema(argument)
+        else:
+            self.write(f"unknown command {command}; try .help")
+
+    def _schema(self, table_name: str) -> None:
+        from repro.catalog.dump import _table_ddl
+
+        db = self.session.database
+        names = [table_name] if table_name else sorted(db.tables)
+        for name in names:
+            try:
+                self.write(_table_ddl(db.table(name).schema) + ";")
+            except ReproError as error:
+                self.write(f"error: {error}")
+                return
+
+    def _dump(self, path: str) -> None:
+        from repro.catalog.dump import dump_database
+
+        try:
+            script = dump_database(self.session.database)
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        if not path:
+            self.write(script)
+            return
+        try:
+            with open(path, "w") as handle:
+                handle.write(script)
+        except OSError as error:
+            self.write(f"error: {error}")
+            return
+        self.write(f"dumped to {path}")
+
+    def _open(self, path: str) -> None:
+        from repro.catalog.dump import load_database
+
+        if not path:
+            self.write("usage: .open <path>")
+            return
+        try:
+            with open(path) as handle:
+                script = handle.read()
+            database = load_database(script)
+        except (OSError, ReproError) as error:
+            self.write(f"error: {error}")
+            return
+        self.session = Session(database, policy=self.session.policy)
+        self.write(f"loaded {len(database.tables)} tables from {path}")
+
+    def _run_sql(self, sql: str) -> None:
+        try:
+            statement = parse_statement(sql)
+            if isinstance(statement, (SelectStatement, SetOperationStatement)):
+                report = self.session.report(sql)
+                self.write(report.result.to_pretty())
+                self.write(f"({report.result.cardinality} rows, "
+                           f"strategy: {report.strategy})")
+            else:
+                execute_statement(self.session.database, statement)
+                self.write("ok")
+        except ReproError as error:
+            self.write(f"error: {error}")
+
+    def _explain(self, sql: str) -> None:
+        try:
+            report = self.session.report(sql)
+            self.write(report.explain())
+        except ReproError as error:
+            self.write(f"error: {error}")
+
+    def _run_script(self, path: str) -> None:
+        if not path:
+            self.write("usage: .script <path>")
+            return
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as error:
+            self.write(f"error: {error}")
+            return
+        try:
+            statements = parse_script(text)
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        ran = 0
+        for statement in statements:
+            try:
+                if isinstance(statement, (SelectStatement, SetOperationStatement)):
+                    report = self.session.report_statement(statement)
+                    self.write(report.result.to_pretty(limit=10))
+                else:
+                    execute_statement(self.session.database, statement)
+                ran += 1
+            except ReproError as error:
+                self.write(f"error in statement {ran + 1}: {error}")
+                return
+        self.write(f"ran {ran} statements")
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """Entry point: optional script paths as arguments, then a REPL."""
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    shell = Shell()
+    for path in arguments:
+        shell._run_script(path)
+    if not sys.stdin.isatty():
+        # Piped input: same accumulation rules as the interactive loop.
+        feed_lines(shell, sys.stdin.read().splitlines())
+        return 0
+    shell.write("groupby-pushdown SQL shell — .help for commands")
+    buffer = ""
+    while not shell.done:
+        try:
+            prompt = CONTINUATION if buffer else PROMPT
+            line = input(prompt)
+        except EOFError:
+            break
+        buffer = f"{buffer}\n{line}" if buffer else line
+        stripped = buffer.strip()
+        if stripped.startswith(".") or stripped.endswith(";"):
+            shell.handle(stripped)
+            buffer = ""
+    return 0
+
+
+def feed_lines(shell: Shell, lines: Iterable[str]) -> None:
+    """Drive a shell from a line sequence (piped stdin, tests).
+
+    Dot-commands complete at end of line; SQL accumulates until a ``;``.
+    """
+    buffer = ""
+    for line in lines:
+        if shell.done:
+            return
+        buffer = f"{buffer}\n{line}" if buffer else line
+        stripped = buffer.strip()
+        if stripped.startswith(".") or stripped.endswith(";"):
+            shell.handle(stripped)
+            buffer = ""
+    if buffer.strip() and not shell.done:
+        shell.handle(buffer.strip())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

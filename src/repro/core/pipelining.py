@@ -1,0 +1,103 @@
+"""Detecting when explicit grouping after a join is unnecessary (§2).
+
+The paper's related-work section recounts two observations:
+
+* Klug [9]: in some cases the join result is *already grouped* correctly,
+  so grouping can be pipelined with aggregation — nested-loop and
+  sort-merge joins both produce outer-ordered output;
+* Dayal [3] (stated without proof there): the condition for this is that
+  **the group-by columns contain a key of the outer table of the join**.
+
+:func:`dayal_condition` tests Dayal's criterion for a
+:class:`~repro.core.query_class.GroupByJoinQuery` evaluated with R2 as the
+outer input; when it holds, :func:`pipelined_standard_plan` builds an E1
+plan whose grouping is a pipelined scan over a sort-merge join (the
+executor's interesting-order machinery makes the sort free), and the tests
+verify the work saving and the correctness.
+
+Why the criterion works, in this setting: sort-merge join on the C0 keys
+emits rows clustered by the outer's join key; if the grouping columns
+functionally determine (indeed contain) a key of the outer table and the
+outer's key determines the grouping columns' outer part, rows of one group
+are contiguous in the join output.  We require the *syntactic* containment
+Dayal states — grouping columns ⊇ some candidate key of the outer — plus
+that all grouping columns come from the outer table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algebra.ops import AggregateSpec, Apply, Group, PlanNode, Project
+from repro.catalog.catalog import Database
+from repro.core.planbuild import build_join_tree
+from repro.core.query_class import GroupByJoinQuery
+from repro.expressions.builder import min_
+
+
+def _pipelining_key(
+    database: Database, query: GroupByJoinQuery
+) -> Optional[Tuple[str, ...]]:
+    """A NOT-NULL candidate key of the single outer (R2) table contained
+    in the grouping columns, or None.
+
+    NULL-admitting UNIQUE keys are rejected: two NULL-keyed rows would be
+    merged by key-grouping while genuinely belonging to different ``=ⁿ``
+    groups of the full grouping list — the same soundness point as in
+    :mod:`repro.fd.derivation`.
+    """
+    if len(query.r2) != 1 or query.ga1:
+        return None
+    (binding,) = query.r2
+    schema = database.table(binding.table_name).schema
+    grouping = set(query.ga2)
+    for key in schema.candidate_keys():
+        if any(schema.column(column).nullable for column in key):
+            continue
+        qualified = tuple(f"{binding.alias}.{column}" for column in key)
+        if set(qualified) <= grouping:
+            return qualified
+    return None
+
+
+def dayal_condition(database: Database, query: GroupByJoinQuery) -> bool:
+    """Dayal's criterion: GROUP BY columns contain a (non-null) key of the
+    outer (R2) table, and reference only the outer side.
+
+    Only the single-table-R2 case is considered (Dayal's statement is
+    about one outer table); multi-table R2 groups return False
+    conservatively.
+    """
+    return _pipelining_key(database, query) is not None
+
+
+def pipelined_standard_plan(
+    database: Database, query: GroupByJoinQuery
+) -> Optional[PlanNode]:
+    """An E1 plan whose group-by pipelines over the join's output order.
+
+    Returns ``None`` when :func:`dayal_condition` fails.  Construction:
+
+    * the outer (R2) table drives a sort-merge join, so the join output is
+      clustered on the outer's key;
+    * grouping runs on the *key columns only* — since the key determines
+      every other grouping column, the groups are identical; the remaining
+      grouping columns are recovered as ``MIN(col)`` pseudo-aggregates
+      (constant within each group);
+    * run with ``ExecutorConfig(join_algorithm="sort_merge",
+      aggregation="sort", exploit_orders=True)`` the grouping degenerates
+      to one pipelined scan: no explicit sort, exactly Klug's observation.
+    """
+    key = _pipelining_key(database, query)
+    if key is None:
+        return None
+    # Outer first: the merge output is ordered by its key columns.
+    bindings = query.r2 + query.r1
+    tree = build_join_tree(bindings, query.where)
+    carried: List[AggregateSpec] = [
+        AggregateSpec(column, min_(column))
+        for column in query.grouping_columns
+        if column not in key
+    ]
+    aggregated = Apply(Group(tree, key), tuple(carried) + query.aggregates)
+    return Project(aggregated, query.select_columns, query.distinct)

@@ -1,0 +1,99 @@
+"""Building join trees from table groups and conjunctive predicates.
+
+The paper treats each table group as a Cartesian product filtered by the
+group's conjuncts.  For execution we build the equivalent left-deep join
+tree with each conjunct placed at the earliest operator where all its
+correlation names are in scope — single-table conjuncts become selections
+on the leaves, cross-table conjuncts become join conditions.  Predicate
+placement for top-level conjuncts preserves SQL2 WHERE semantics exactly
+(a row survives iff every conjunct is TRUE, in any placement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.ops import Join, PlanNode, Relation, Select
+from repro.expressions.analysis import referenced_tables
+from repro.expressions.ast import Expression
+from repro.expressions.normalize import conjoin, split_conjuncts
+from repro.fd.derivation import TableBinding
+
+
+def build_join_tree(
+    bindings: Sequence[TableBinding],
+    condition: Optional[Expression],
+) -> PlanNode:
+    """Left-deep join tree over ``bindings`` filtered by ``condition``.
+
+    Join order is chosen greedily to follow join predicates (avoiding
+    accidental Cartesian products when a connecting conjunct exists); the
+    first binding anchors the tree.  Conjuncts whose correlations are all in
+    scope at a join become that join's condition; conjuncts referencing a
+    single correlation become leaf selections; conjuncts referencing no
+    correlation at all (constant/host-variable tests) are applied once at
+    the top.
+    """
+    if not bindings:
+        raise ValueError("cannot build a join tree over zero tables")
+
+    conjuncts = list(split_conjuncts(condition))
+    leaf_filters: Dict[str, List[Expression]] = {b.alias: [] for b in bindings}
+    cross: List[Tuple[frozenset, Expression]] = []
+    floating: List[Expression] = []
+    alias_set = {b.alias for b in bindings}
+    for conjunct in conjuncts:
+        tables = referenced_tables(conjunct) & alias_set
+        if len(tables) == 1:
+            (alias,) = tables
+            leaf_filters[alias].append(conjunct)
+        elif len(tables) == 0:
+            floating.append(conjunct)
+        else:
+            cross.append((frozenset(tables), conjunct))
+
+    def leaf(binding: TableBinding) -> PlanNode:
+        node: PlanNode = Relation(binding.table_name, binding.alias)
+        filters = conjoin(leaf_filters[binding.alias])
+        if filters is not None:
+            node = Select(node, filters)
+        return node
+
+    remaining = list(bindings)
+    first = remaining.pop(0)
+    tree = leaf(first)
+    in_scope: Set[str] = {first.alias}
+    pending_cross = list(cross)
+
+    while remaining:
+        # Prefer a table connected to the current scope by some conjunct.
+        pick_index = 0
+        for i, binding in enumerate(remaining):
+            connected = any(
+                binding.alias in tables and tables <= in_scope | {binding.alias}
+                for tables, _ in pending_cross
+            )
+            if connected:
+                pick_index = i
+                break
+        binding = remaining.pop(pick_index)
+        in_scope.add(binding.alias)
+        applicable = [
+            conjunct
+            for tables, conjunct in pending_cross
+            if tables <= in_scope and binding.alias in tables
+        ]
+        pending_cross = [
+            (tables, conjunct)
+            for tables, conjunct in pending_cross
+            if not (tables <= in_scope and binding.alias in tables)
+        ]
+        tree = Join(tree, leaf(binding), conjoin(applicable))
+
+    # Conjuncts spanning tables that only became jointly available late
+    # (e.g. A.x = B.y + C.z style three-way conditions) plus floating ones.
+    leftovers = [conjunct for _, conjunct in pending_cross] + floating
+    top = conjoin(leftovers)
+    if top is not None:
+        tree = Select(tree, top)
+    return tree

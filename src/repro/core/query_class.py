@@ -1,0 +1,217 @@
+"""The class of queries the paper considers (Section 3).
+
+A :class:`GroupByJoinQuery` is the normalized form::
+
+    SELECT [ALL|DISTINCT] SGA1, SGA2, F(AA)
+    FROM   R1, R2
+    WHERE  C1 ∧ C0 ∧ C2
+    GROUP BY GA1, GA2
+
+where R1 is the group of FROM-clause tables carrying aggregation columns
+and R2 the group carrying none (each group is conceptually the Cartesian
+product of its members).  All column names are fully qualified by
+correlation name.  The derived quantities of Section 3 are exposed as
+properties:
+
+* :attr:`ga1_plus` — ``GA1 ∪ (α(C0) ∩ R1)``: R1's join-and-grouping columns;
+* :attr:`ga2_plus` — ``GA2 ∪ (α(C0) ∩ R2)``;
+* :meth:`split` — the ``C1 / C0 / C2`` decomposition of the WHERE clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.algebra.ops import AggregateSpec
+from repro.catalog.catalog import Database
+from repro.errors import TransformationError
+from repro.expressions.analysis import PredicateSplit, split_predicate
+from repro.expressions.ast import (
+    Expression,
+    aggregates as collect_aggregates,
+    column_refs,
+)
+from repro.expressions.normalize import split_conjuncts
+from repro.fd.derivation import TableBinding
+
+
+@dataclass(frozen=True)
+class GroupByJoinQuery:
+    """A normalized group-by/join query (the paper's Section 3 form)."""
+
+    r1: Tuple[TableBinding, ...]
+    r2: Tuple[TableBinding, ...]
+    where: Optional[Expression]
+    ga1: Tuple[str, ...]
+    ga2: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    sga1: Tuple[str, ...] = ()
+    sga2: Tuple[str, ...] = ()
+    distinct: bool = False
+    having: Optional[Expression] = None
+
+    def __init__(
+        self,
+        r1: Sequence[TableBinding],
+        r2: Sequence[TableBinding],
+        where: Optional[Expression],
+        ga1: Sequence[str],
+        ga2: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        sga1: Optional[Sequence[str]] = None,
+        sga2: Optional[Sequence[str]] = None,
+        distinct: bool = False,
+        having: Optional[Expression] = None,
+    ) -> None:
+        object.__setattr__(self, "r1", tuple(r1))
+        object.__setattr__(self, "r2", tuple(r2))
+        object.__setattr__(self, "where", where)
+        object.__setattr__(self, "ga1", tuple(ga1))
+        object.__setattr__(self, "ga2", tuple(ga2))
+        object.__setattr__(self, "aggregates", tuple(aggregates))
+        # SGA defaults to the full grouping list (the Main Theorem form).
+        object.__setattr__(self, "sga1", tuple(sga1) if sga1 is not None else tuple(ga1))
+        object.__setattr__(self, "sga2", tuple(sga2) if sga2 is not None else tuple(ga2))
+        object.__setattr__(self, "distinct", distinct)
+        object.__setattr__(self, "having", having)
+        self._check_wellformed()
+
+    # -- structural checks ---------------------------------------------------
+
+    def _check_wellformed(self) -> None:
+        if not self.r1:
+            raise TransformationError("R1 group is empty")
+        r1_aliases = self.r1_aliases
+        r2_aliases = self.r2_aliases
+        if r1_aliases & r2_aliases:
+            raise TransformationError(
+                f"aliases in both groups: {sorted(r1_aliases & r2_aliases)}"
+            )
+        if not self.ga1 and not self.ga2:
+            raise TransformationError(
+                "GA1 and GA2 cannot both be empty (the query would have no "
+                "GROUP BY and is outside the class considered)"
+            )
+        if not set(self.sga1) <= set(self.ga1):
+            raise TransformationError("SGA1 must be a subset of GA1")
+        if not set(self.sga2) <= set(self.ga2):
+            raise TransformationError("SGA2 must be a subset of GA2")
+        for column in self.ga1:
+            if self._alias_of(column) not in r1_aliases:
+                raise TransformationError(f"GA1 column {column} is not in R1")
+        for column in self.ga2:
+            if self._alias_of(column) not in r2_aliases:
+                raise TransformationError(f"GA2 column {column} is not in R2")
+        for spec in self.aggregates:
+            for agg in collect_aggregates(spec.expression):
+                if agg.argument is None:
+                    continue  # COUNT(*) — computed over R1 groups
+                for ref in column_refs(agg.argument):
+                    if ref.table not in r1_aliases:
+                        raise TransformationError(
+                            f"aggregation column {ref.qualified} is outside R1"
+                        )
+
+    @staticmethod
+    def _alias_of(qualified_column: str) -> str:
+        if "." not in qualified_column:
+            raise TransformationError(
+                f"grouping column {qualified_column!r} must be qualified"
+            )
+        return qualified_column.rsplit(".", 1)[0]
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def r1_aliases(self) -> FrozenSet[str]:
+        return frozenset(binding.alias for binding in self.r1)
+
+    @property
+    def r2_aliases(self) -> FrozenSet[str]:
+        return frozenset(binding.alias for binding in self.r2)
+
+    @property
+    def all_bindings(self) -> Tuple[TableBinding, ...]:
+        return self.r1 + self.r2
+
+    def split(self) -> PredicateSplit:
+        """The ``C1 ∧ C0 ∧ C2`` decomposition of the WHERE clause."""
+        return split_predicate(self.where, self.r1_aliases, self.r2_aliases)
+
+    def c0_columns(self) -> FrozenSet[str]:
+        """α(C0): the columns involved in cross-group predicates."""
+        c0 = self.split().c0
+        if c0 is None:
+            return frozenset()
+        return frozenset(ref.qualified for ref in column_refs(c0))
+
+    @property
+    def ga1_plus(self) -> Tuple[str, ...]:
+        """GA1 ∪ (α(C0) ∩ R1) — deterministic order: GA1 first."""
+        r1_aliases = self.r1_aliases
+        extra = sorted(
+            column
+            for column in self.c0_columns()
+            if self._alias_of(column) in r1_aliases and column not in self.ga1
+        )
+        return self.ga1 + tuple(extra)
+
+    @property
+    def ga2_plus(self) -> Tuple[str, ...]:
+        """GA2 ∪ (α(C0) ∩ R2) — deterministic order: GA2 first."""
+        r2_aliases = self.r2_aliases
+        extra = sorted(
+            column
+            for column in self.c0_columns()
+            if self._alias_of(column) in r2_aliases and column not in self.ga2
+        )
+        return self.ga2 + tuple(extra)
+
+    @property
+    def grouping_columns(self) -> Tuple[str, ...]:
+        return self.ga1 + self.ga2
+
+    @property
+    def select_columns(self) -> Tuple[str, ...]:
+        """Output columns in SELECT order: SGA1, SGA2, then aggregate names."""
+        return self.sga1 + self.sga2 + tuple(spec.name for spec in self.aggregates)
+
+    def aggregate_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.aggregates)
+
+    # -- validation against a database ----------------------------------------
+
+    def validate(self, database: Database) -> None:
+        """Check table and column references against the catalog."""
+        for binding in self.all_bindings:
+            table = database.table(binding.table_name)  # raises if missing
+            del table
+        for column in self.ga1 + self.ga2:
+            alias = self._alias_of(column)
+            bare = column.rsplit(".", 1)[1]
+            binding = next(
+                b for b in self.all_bindings if b.alias == alias
+            )
+            schema = database.table(binding.table_name).schema
+            if not schema.has_column(bare):
+                raise TransformationError(
+                    f"grouping column {column} not in {binding.table_name}"
+                )
+
+    def describe(self) -> str:
+        """A human-readable summary in the paper's notation."""
+        split = self.split()
+        lines = [
+            f"R1: {', '.join(f'{b.table_name} AS {b.alias}' for b in self.r1)}",
+            f"R2: {', '.join(f'{b.table_name} AS {b.alias}' for b in self.r2) or '(empty)'}",
+            f"C1: {split.c1}",
+            f"C0: {split.c0}",
+            f"C2: {split.c2}",
+            f"GA1: {', '.join(self.ga1) or '(empty)'}",
+            f"GA2: {', '.join(self.ga2) or '(empty)'}",
+            f"GA1+: {', '.join(self.ga1_plus) or '(empty)'}",
+            f"GA2+: {', '.join(self.ga2_plus) or '(empty)'}",
+            f"F(AA): {', '.join(str(s) for s in self.aggregates) or '(empty)'}",
+        ]
+        return "\n".join(lines)

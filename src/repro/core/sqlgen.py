@@ -1,0 +1,202 @@
+"""Rendering queries back to SQL text.
+
+The paper presents its rewrites *as SQL* (the two-block form at the end of
+Example 3: the main query over R1′ and R2′, plus the SELECTs defining
+them).  This module reproduces that presentation:
+
+* :func:`render_expression` — SQL text for any predicate/scalar expression;
+* :func:`standard_sql` — the E1 form as one executable SELECT (round-trips
+  through our parser);
+* :func:`eager_sql` — the E2 form in the paper's presentation: a main
+  query over the derived tables ``R1'`` and ``R2'`` followed by their
+  definitions (display text; SQL2 has no WITH clause).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.query_class import GroupByJoinQuery
+from repro.expressions.ast import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    HostVariable,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from repro.sqltypes.values import is_null
+
+
+def _render_literal(value: object) -> str:
+    if is_null(value):
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def render_expression(expression: Expression) -> str:
+    """SQL text for an expression (parenthesized to be re-parse-safe)."""
+    if isinstance(expression, Literal):
+        return _render_literal(expression.value)
+    if isinstance(expression, ColumnRef):
+        return expression.qualified
+    if isinstance(expression, HostVariable):
+        return f":{expression.name}"
+    if isinstance(expression, Comparison):
+        return (
+            f"{render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)}"
+        )
+    if isinstance(expression, And):
+        return (
+            f"({render_expression(expression.left)} AND "
+            f"{render_expression(expression.right)})"
+        )
+    if isinstance(expression, Or):
+        return (
+            f"({render_expression(expression.left)} OR "
+            f"{render_expression(expression.right)})"
+        )
+    if isinstance(expression, Not):
+        return f"NOT ({render_expression(expression.operand)})"
+    if isinstance(expression, IsNull):
+        suffix = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{render_expression(expression.operand)} {suffix}"
+    if isinstance(expression, InList):
+        keyword = "NOT IN" if expression.negated else "IN"
+        items = ", ".join(render_expression(item) for item in expression.items)
+        return f"{render_expression(expression.operand)} {keyword} ({items})"
+    if isinstance(expression, InSubquery):
+        keyword = "NOT IN" if expression.negated else "IN"
+        return f"{render_expression(expression.operand)} {keyword} (SELECT ...)"
+    if isinstance(expression, Between):
+        keyword = "NOT BETWEEN" if expression.negated else "BETWEEN"
+        return (
+            f"{render_expression(expression.operand)} {keyword} "
+            f"{render_expression(expression.low)} AND "
+            f"{render_expression(expression.high)}"
+        )
+    if isinstance(expression, Like):
+        keyword = "NOT LIKE" if expression.negated else "LIKE"
+        return (
+            f"{render_expression(expression.operand)} {keyword} "
+            f"{_render_literal(expression.pattern)}"
+        )
+    if isinstance(expression, Arithmetic):
+        return (
+            f"({render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)})"
+        )
+    if isinstance(expression, Negate):
+        return f"(-{render_expression(expression.operand)})"
+    if isinstance(expression, Aggregate):
+        inner = (
+            "*" if expression.argument is None
+            else render_expression(expression.argument)
+        )
+        prefix = "DISTINCT " if expression.distinct else ""
+        return f"{expression.function}({prefix}{inner})"
+    raise TypeError(f"cannot render {type(expression).__name__}")
+
+
+def _from_clause(bindings) -> str:
+    return ", ".join(
+        f"{b.table_name} {b.alias}" if b.alias != b.table_name else b.table_name
+        for b in bindings
+    )
+
+
+def standard_sql(query: GroupByJoinQuery) -> str:
+    """The E1 form as one executable SELECT statement."""
+    parts: List[str] = []
+    head = "SELECT DISTINCT" if query.distinct else "SELECT"
+    select_list = list(query.sga1 + query.sga2)
+    select_list += [
+        f"{render_expression(spec.expression)} AS {spec.name}"
+        for spec in query.aggregates
+    ]
+    parts.append(f"{head} {', '.join(select_list)}")
+    parts.append(f"FROM {_from_clause(query.all_bindings)}")
+    if query.where is not None:
+        parts.append(f"WHERE {render_expression(query.where)}")
+    if query.grouping_columns:
+        parts.append(f"GROUP BY {', '.join(query.grouping_columns)}")
+    if query.having is not None:
+        parts.append(f"HAVING {render_expression(query.having)}")
+    return "\n".join(parts)
+
+
+def eager_sql(query: GroupByJoinQuery) -> str:
+    """The E2 form in the paper's two-block presentation (Example 3's
+    rewritten query): the main query over R1' and R2', then their
+    definitions."""
+    split = query.split()
+    agg_names = [spec.name for spec in query.aggregates]
+
+    def strip_alias(column: str) -> str:
+        return column.rsplit(".", 1)[-1]
+
+    # The derived tables expose bare column names.
+    r1_columns = [strip_alias(c) for c in query.ga1_plus] + agg_names
+    r2_columns = [strip_alias(c) for c in query.ga2_plus]
+
+    main_select = (
+        ("SELECT DISTINCT " if query.distinct else "SELECT ")
+        + ", ".join(
+            [f"R1'.{strip_alias(c)}" for c in query.sga1]
+            + [f"R2'.{strip_alias(c)}" for c in query.sga2]
+            + [f"R1'.{name}" for name in agg_names]
+        )
+    )
+    c0 = split.c0
+    main_where = ""
+    if c0 is not None:
+        rendered = render_expression(c0)
+        for column in query.ga1_plus:
+            rendered = rendered.replace(column, f"R1'.{strip_alias(column)}")
+        for column in query.ga2_plus:
+            rendered = rendered.replace(column, f"R2'.{strip_alias(column)}")
+        main_where = f"\nWHERE {rendered}"
+    main = f"{main_select}\nFROM R1', R2'{main_where}"
+
+    r1_body_select = ", ".join(
+        list(query.ga1_plus)
+        + [
+            f"{render_expression(spec.expression)} AS {spec.name}"
+            for spec in query.aggregates
+        ]
+    )
+    r1_lines = [
+        f"R1' ({', '.join(r1_columns)}) ==",
+        f"  SELECT {r1_body_select}",
+        f"  FROM {_from_clause(query.r1)}",
+    ]
+    if split.c1 is not None:
+        r1_lines.append(f"  WHERE {render_expression(split.c1)}")
+    if query.ga1_plus:
+        r1_lines.append(f"  GROUP BY {', '.join(query.ga1_plus)}")
+
+    r2_lines = [
+        f"R2' ({', '.join(r2_columns)}) ==",
+        f"  SELECT {', '.join(query.ga2_plus)}",
+        f"  FROM {_from_clause(query.r2)}",
+    ]
+    if split.c2 is not None:
+        r2_lines.append(f"  WHERE {render_expression(split.c2)}")
+
+    return "\n".join([main, "", "where", ""] + r1_lines + [""] + r2_lines)

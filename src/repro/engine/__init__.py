@@ -1,0 +1,10 @@
+"""Physical execution: datasets, operators, executor, and statistics."""
+
+from repro.engine.dataset import DataSet
+from repro.engine.executor import Executor, ExecutorConfig, execute, rowid_column
+from repro.engine.stats import ExecutionStats, NodeStats
+
+__all__ = [
+    "DataSet", "Executor", "ExecutorConfig", "execute", "rowid_column",
+    "ExecutionStats", "NodeStats",
+]

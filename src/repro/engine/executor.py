@@ -1,0 +1,287 @@
+"""The plan executor: logical algebra → materialized DataSets + statistics.
+
+The executor walks a :class:`~repro.algebra.ops.PlanNode` tree bottom-up,
+materializing each operator's output and recording per-operator
+cardinalities and work in an :class:`~repro.engine.stats.ExecutionStats`.
+Materialization (rather than tuple-at-a-time iteration) keeps the row
+accounting exact and the engine easy to verify — the paper's claims are
+about cardinalities, not pipelining latency.
+
+Configuration knobs (join algorithm, aggregation strategy, RowID exposure)
+live in :class:`ExecutorConfig`.  RowID exposure adds a ``<corr>.#rowid``
+column to every base-table scan so the Main Theorem checker can test
+``FD2: (GA1+, GA2) → RowID(R2)`` on real join results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.algebra.ops import (
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    PlanNode,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Sort,
+    fuse_group_apply,
+)
+from repro.catalog.catalog import Database
+from repro.engine import joins
+from repro.engine.aggregation import distinct, hash_group, sort_group
+from repro.engine.dataset import DataSet
+from repro.engine.sorting import sort_dataset
+from repro.engine.stats import ExecutionStats, NodeStats
+from repro.errors import ExecutionError
+from repro.expressions.eval import evaluate_predicate
+from repro.sqltypes.values import SqlValue
+
+#: Name of the hidden RowID column exposed for correlation ``corr``.
+def rowid_column(correlation: str) -> str:
+    return f"{correlation}.#rowid"
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution strategy knobs.
+
+    * ``join_algorithm``: ``"auto"`` (hash when an equi-key exists, else
+      nested loop), ``"nested_loop"``, ``"hash"``, or ``"sort_merge"``.
+    * ``aggregation``: ``"hash"`` or ``"sort"`` grouping.
+    * ``expose_rowids``: add ``<corr>.#rowid`` to base-table scans.
+    * ``exploit_orders``: let sort-based grouping skip its sort when the
+      input is already ordered on the grouping columns (§2's pipelined
+      aggregation; sort-merge joins always exploit presorted inputs).
+    """
+
+    join_algorithm: str = "auto"
+    aggregation: str = "hash"
+    expose_rowids: bool = False
+    exploit_orders: bool = False
+
+    def __post_init__(self) -> None:
+        if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
+            raise ValueError(f"bad join_algorithm: {self.join_algorithm}")
+        if self.aggregation not in ("hash", "sort"):
+            raise ValueError(f"bad aggregation: {self.aggregation}")
+
+
+class Executor:
+    """Executes logical plans against a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: ExecutorConfig = ExecutorConfig(),
+        params: Optional[Mapping[str, SqlValue]] = None,
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.params = params
+
+    def run(self, plan: PlanNode) -> Tuple[DataSet, ExecutionStats]:
+        """Execute ``plan``; returns the result and per-operator statistics."""
+        fused = fuse_group_apply(plan)
+        stats = ExecutionStats()
+        result = self._execute(fused, stats)
+        return result, stats
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _execute(self, node: PlanNode, stats: ExecutionStats) -> DataSet:
+        if isinstance(node, Relation):
+            return self._scan(node, stats)
+        if isinstance(node, Select):
+            return self._select(node, stats)
+        if isinstance(node, Project):
+            return self._project(node, stats)
+        if isinstance(node, Product):
+            return self._product(node, stats)
+        if isinstance(node, Join):
+            return self._join(node, stats)
+        if isinstance(node, GroupApply):
+            return self._group_apply(node, stats)
+        if isinstance(node, Group):
+            return self._bare_group(node, stats)
+        if isinstance(node, Sort):
+            return self._sort(node, stats)
+        if isinstance(node, Apply):
+            raise ExecutionError(
+                "Apply without Group beneath it; run fuse_group_apply first"
+            )
+        raise ExecutionError(f"cannot execute node {type(node).__name__}")
+
+    # -- operators ------------------------------------------------------------
+
+    def _scan(self, node: Relation, stats: ExecutionStats) -> DataSet:
+        table = self.database.table(node.table_name)
+        correlation = node.correlation
+        columns = [f"{correlation}.{c}" for c in table.column_names()]
+        if self.config.expose_rowids:
+            columns.append(rowid_column(correlation))
+            rows = [row.values + (row.rowid,) for row in table]
+        else:
+            rows = [row.values for row in table]
+        dataset = DataSet(columns, rows)
+        stats.record(
+            id(node),
+            NodeStats(node.label(), "scan", (), dataset.cardinality, dataset.cardinality),
+        )
+        return dataset
+
+    def _select(self, node: Select, stats: ExecutionStats) -> DataSet:
+        child = self._execute(node.child, stats)
+        out_rows = [
+            row
+            for row in child.rows
+            if evaluate_predicate(
+                node.condition, child.scope(row), self.params
+            ).is_true()
+        ]
+        # Filtering preserves any known sort order.
+        dataset = DataSet(child.columns, out_rows, ordering=child.ordering)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "select",
+                (child.cardinality,),
+                dataset.cardinality,
+                child.cardinality,
+            ),
+        )
+        return dataset
+
+    def _project(self, node: Project, stats: ExecutionStats) -> DataSet:
+        child = self._execute(node.child, stats)
+        projected = child.project(node.columns)
+        work = child.cardinality
+        if node.distinct:
+            projected, distinct_work = distinct(projected)
+            work += distinct_work
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "project",
+                (child.cardinality,),
+                projected.cardinality,
+                work,
+            ),
+        )
+        return projected
+
+    def _product(self, node: Product, stats: ExecutionStats) -> DataSet:
+        left = self._execute(node.left, stats)
+        right = self._execute(node.right, stats)
+        dataset, work = joins.cartesian_product(left, right)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "join",
+                (left.cardinality, right.cardinality),
+                dataset.cardinality,
+                work,
+            ),
+        )
+        return dataset
+
+    def _join(self, node: Join, stats: ExecutionStats) -> DataSet:
+        left = self._execute(node.left, stats)
+        right = self._execute(node.right, stats)
+        algorithm = self.config.join_algorithm
+        if node.condition is None:
+            dataset, work = joins.cartesian_product(left, right)
+        elif algorithm == "nested_loop":
+            dataset, work = joins.nested_loop_join(left, right, node.condition, self.params)
+        elif algorithm == "sort_merge":
+            dataset, work = joins.sort_merge_join(left, right, node.condition, self.params)
+        else:  # "hash" and "auto": hash_join falls back to NL itself
+            dataset, work = joins.hash_join(left, right, node.condition, self.params)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "join",
+                (left.cardinality, right.cardinality),
+                dataset.cardinality,
+                work,
+            ),
+        )
+        return dataset
+
+    def _group_apply(self, node: GroupApply, stats: ExecutionStats) -> DataSet:
+        child = self._execute(node.child, stats)
+        if self.config.aggregation == "sort":
+            from repro.engine.sorting import is_sorted_on
+
+            presorted = self.config.exploit_orders and is_sorted_on(
+                child, node.grouping_columns
+            )
+            dataset, work = sort_group(
+                child, node.grouping_columns, node.aggregates, self.params,
+                presorted=presorted,
+            )
+        else:
+            dataset, work = hash_group(
+                child, node.grouping_columns, node.aggregates, self.params
+            )
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "groupby",
+                (child.cardinality,),
+                dataset.cardinality,
+                work,
+            ),
+        )
+        return dataset
+
+    def _sort(self, node: Sort, stats: ExecutionStats) -> DataSet:
+        child = self._execute(node.child, stats)
+        dataset, work = sort_dataset(child, node.columns, node.descending)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "sort",
+                (child.cardinality,),
+                dataset.cardinality,
+                work,
+            ),
+        )
+        return dataset
+
+    def _bare_group(self, node: Group, stats: ExecutionStats) -> DataSet:
+        # G[GA] alone: the defining SQL is SELECT * FROM R ORDER BY GA —
+        # grouping realized by sorting, rows unchanged.
+        child = self._execute(node.child, stats)
+        dataset, work = sort_dataset(child, node.grouping_columns)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "groupby",
+                (child.cardinality,),
+                dataset.cardinality,
+                work,
+            ),
+        )
+        return dataset
+
+
+def execute(
+    database: Database,
+    plan: PlanNode,
+    config: ExecutorConfig = ExecutorConfig(),
+    params: Optional[Mapping[str, SqlValue]] = None,
+) -> Tuple[DataSet, ExecutionStats]:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(database, config, params).run(plan)

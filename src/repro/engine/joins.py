@@ -1,0 +1,238 @@
+"""Join algorithms: nested-loop, hash, and sort-merge.
+
+All three produce identical results (σ[C](L × R) with WHERE semantics:
+a pair qualifies only when the condition is TRUE); they differ in the work
+they report, which is what the cost study consumes.
+
+Equi-join keys are extracted from the conjuncts of the join condition;
+non-equality residue is applied as a post-filter.  NULL join keys never
+match under ``=`` (UNKNOWN ⇒ drop), per SQL2 — this differs from the
+grouping semantics and both are exercised by tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from repro.engine.dataset import DataSet
+from repro.expressions.analysis import classify_atomic, Type2Condition
+from repro.expressions.ast import Expression
+from repro.expressions.eval import evaluate_predicate
+from repro.expressions.normalize import conjoin, split_conjuncts
+from repro.sqltypes.values import SqlValue, is_null, sort_key
+
+
+def _combined(left: DataSet, right: DataSet) -> Tuple[str, ...]:
+    return left.columns + right.columns
+
+
+def _pair_scope(
+    columns: Tuple[str, ...], row: Tuple[SqlValue, ...]
+):
+    from repro.expressions.eval import RowScope
+
+    return RowScope.from_pairs(columns, row)
+
+
+def extract_equi_keys(
+    condition: Optional[Expression], left: DataSet, right: DataSet
+) -> Tuple[List[Tuple[int, int]], Optional[Expression]]:
+    """Split a join condition into equi-key index pairs and a residual.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_index,
+    right_index)`` and ``residual`` is the conjunction of everything that is
+    not a cross-input column equality.
+    """
+    pairs: List[Tuple[int, int]] = []
+    residual: List[Expression] = []
+    for conjunct in split_conjuncts(condition):
+        classified = classify_atomic(conjunct)
+        matched = False
+        if isinstance(classified, Type2Condition):
+            left_name = classified.left.qualified
+            right_name = classified.right.qualified
+            from repro.errors import BindingError
+
+            try:
+                pairs.append((left.index_of(left_name), right.index_of(right_name)))
+                matched = True
+            except BindingError:
+                try:
+                    pairs.append(
+                        (left.index_of(right_name), right.index_of(left_name))
+                    )
+                    matched = True
+                except BindingError:
+                    matched = False
+        if not matched:
+            residual.append(conjunct)
+    return pairs, conjoin(residual)
+
+
+def nested_loop_join(
+    left: DataSet,
+    right: DataSet,
+    condition: Optional[Expression],
+    params: Optional[Mapping[str, SqlValue]] = None,
+) -> Tuple[DataSet, int]:
+    """Examine every pair; work = |L| × |R| (the paper's join-size metric)."""
+    columns = _combined(left, right)
+    out_rows: List[Tuple[SqlValue, ...]] = []
+    for left_row in left.rows:
+        for right_row in right.rows:
+            combined = left_row + right_row
+            if condition is None or evaluate_predicate(
+                condition, _pair_scope(columns, combined), params
+            ).is_true():
+                out_rows.append(combined)
+    work = left.cardinality * right.cardinality
+    return DataSet(columns, out_rows), work
+
+
+def hash_join(
+    left: DataSet,
+    right: DataSet,
+    condition: Optional[Expression],
+    params: Optional[Mapping[str, SqlValue]] = None,
+) -> Tuple[DataSet, int]:
+    """Hash join on extracted equi-keys; falls back to nested loop when the
+    condition has no usable equality.  Work = |L| + |R| + matches examined."""
+    pairs, residual = extract_equi_keys(condition, left, right)
+    if not pairs:
+        return nested_loop_join(left, right, condition, params)
+
+    columns = _combined(left, right)
+    left_keys = [p[0] for p in pairs]
+    right_keys = [p[1] for p in pairs]
+
+    table: dict = {}
+    for right_row in right.rows:
+        key_values = tuple(right_row[i] for i in right_keys)
+        if any(is_null(v) for v in key_values):
+            continue  # NULL keys never match under `=`
+        table.setdefault(key_values, []).append(right_row)
+
+    out_rows: List[Tuple[SqlValue, ...]] = []
+    probes = 0
+    for left_row in left.rows:
+        key_values = tuple(left_row[i] for i in left_keys)
+        if any(is_null(v) for v in key_values):
+            continue
+        for right_row in table.get(key_values, ()):
+            probes += 1
+            combined = left_row + right_row
+            if residual is None or evaluate_predicate(
+                residual, _pair_scope(columns, combined), params
+            ).is_true():
+                out_rows.append(combined)
+    work = left.cardinality + right.cardinality + probes
+    return DataSet(columns, out_rows), work
+
+
+def sort_merge_join(
+    left: DataSet,
+    right: DataSet,
+    condition: Optional[Expression],
+    params: Optional[Mapping[str, SqlValue]] = None,
+) -> Tuple[DataSet, int]:
+    """Sort-merge join on extracted equi-keys (nested-loop fallback).
+
+    Rows with NULL keys are skipped before the merge (they cannot match).
+    Work = sort costs (n log n approximations) + merge scan + matches.
+    """
+    import math
+
+    pairs, residual = extract_equi_keys(condition, left, right)
+    if not pairs:
+        return nested_loop_join(left, right, condition, params)
+
+    columns = _combined(left, right)
+    left_keys = [p[0] for p in pairs]
+    right_keys = [p[1] for p in pairs]
+
+    # Exploit interesting orders (§7): an input already sorted on its join
+    # keys — e.g. the output of an eager aggregation on GA1+ — skips its
+    # sort phase.  NULL-key filtering preserves order.
+    from repro.engine.sorting import is_sorted_on
+
+    left_presorted = is_sorted_on(left, [left.columns[i] for i in left_keys])
+    right_presorted = is_sorted_on(right, [right.columns[i] for i in right_keys])
+
+    left_filtered = [
+        row for row in left.rows if not any(is_null(row[i]) for i in left_keys)
+    ]
+    right_filtered = [
+        row for row in right.rows if not any(is_null(row[i]) for i in right_keys)
+    ]
+    left_sorted = (
+        left_filtered
+        if left_presorted
+        else sorted(
+            left_filtered,
+            key=lambda row: sort_key(tuple(row[i] for i in left_keys)),
+        )
+    )
+    right_sorted = (
+        right_filtered
+        if right_presorted
+        else sorted(
+            right_filtered,
+            key=lambda row: sort_key(tuple(row[i] for i in right_keys)),
+        )
+    )
+
+    out_rows: List[Tuple[SqlValue, ...]] = []
+    matches = 0
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        left_key = sort_key(tuple(left_sorted[i][k] for k in left_keys))
+        right_key = sort_key(tuple(right_sorted[j][k] for k in right_keys))
+        if left_key < right_key:
+            i += 1
+        elif right_key < left_key:
+            j += 1
+        else:
+            # Collect the equal-key run on the right, pair with the run on
+            # the left.
+            j_end = j
+            while j_end < len(right_sorted) and sort_key(
+                tuple(right_sorted[j_end][k] for k in right_keys)
+            ) == right_key:
+                j_end += 1
+            i_run = i
+            while i_run < len(left_sorted) and sort_key(
+                tuple(left_sorted[i_run][k] for k in left_keys)
+            ) == left_key:
+                for right_row in right_sorted[j:j_end]:
+                    matches += 1
+                    combined = left_sorted[i_run] + right_row
+                    if residual is None or evaluate_predicate(
+                        residual, _pair_scope(columns, combined), params
+                    ).is_true():
+                        out_rows.append(combined)
+                i_run += 1
+            i = i_run
+            j = j_end
+
+    def sort_cost(n: int) -> int:
+        return n * max(1, math.ceil(math.log2(n))) if n > 1 else n
+
+    work = (
+        (0 if left_presorted else sort_cost(left.cardinality))
+        + (0 if right_presorted else sort_cost(right.cardinality))
+        + left.cardinality
+        + right.cardinality
+        + matches
+    )
+    # The merge emits runs in left-key order.
+    ordering = tuple(left.columns[i] for i in left_keys)
+    return DataSet(columns, out_rows, ordering=ordering), work
+
+
+def cartesian_product(left: DataSet, right: DataSet) -> Tuple[DataSet, int]:
+    """L × R with no condition; work = |L| × |R|."""
+    columns = _combined(left, right)
+    out_rows = [
+        left_row + right_row for left_row in left.rows for right_row in right.rows
+    ]
+    return DataSet(columns, out_rows), left.cardinality * right.cardinality

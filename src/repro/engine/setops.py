@@ -1,0 +1,114 @@
+"""UNION / EXCEPT / INTERSECT with SQL2 duplicate semantics.
+
+Section 4.2 of the paper names these among the *duplicate operations*:
+"Two rows are defined to be duplicates of one another exactly when each
+pair of corresponding column values are duplicate", with NULL equal to
+NULL.  The bag variants follow SQL2:
+
+* ``UNION ALL``      — bag concatenation;
+* ``UNION``          — distinct rows of the concatenation;
+* ``EXCEPT ALL``     — bag difference (multiplicities subtract);
+* ``EXCEPT``         — distinct left rows not occurring in the right;
+* ``INTERSECT ALL``  — bag intersection (minimum multiplicity);
+* ``INTERSECT``      — distinct common rows.
+
+All comparisons use the ``=ⁿ`` key of
+:func:`repro.sqltypes.values.group_key`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.engine.dataset import DataSet
+from repro.errors import ExecutionError
+from repro.sqltypes.values import SqlValue, group_key
+
+OPERATORS = ("union", "except", "intersect")
+
+
+def _check_compatible(left: DataSet, right: DataSet) -> None:
+    if len(left.columns) != len(right.columns):
+        raise ExecutionError(
+            f"set operation over different arities: {len(left.columns)} "
+            f"vs {len(right.columns)}"
+        )
+
+
+def _representatives(dataset: DataSet) -> Dict[Tuple, Tuple[SqlValue, ...]]:
+    seen: Dict[Tuple, Tuple[SqlValue, ...]] = {}
+    for row in dataset.rows:
+        seen.setdefault(group_key(row), row)
+    return seen
+
+
+def union(left: DataSet, right: DataSet, all_rows: bool = False) -> Tuple[DataSet, int]:
+    """UNION [ALL]; output uses the left input's column names."""
+    _check_compatible(left, right)
+    if all_rows:
+        result = DataSet(left.columns, left.rows + right.rows)
+        return result, left.cardinality + right.cardinality
+    seen: Dict[Tuple, Tuple[SqlValue, ...]] = {}
+    for row in left.rows + right.rows:
+        seen.setdefault(group_key(row), row)
+    result = DataSet(left.columns, seen.values())
+    return result, left.cardinality + right.cardinality
+
+
+def except_(left: DataSet, right: DataSet, all_rows: bool = False) -> Tuple[DataSet, int]:
+    """EXCEPT [ALL]."""
+    _check_compatible(left, right)
+    work = left.cardinality + right.cardinality
+    if all_rows:
+        remaining = Counter(group_key(row) for row in right.rows)
+        out_rows: List[Tuple[SqlValue, ...]] = []
+        for row in left.rows:
+            key = group_key(row)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                out_rows.append(row)
+        return DataSet(left.columns, out_rows), work
+    right_keys = {group_key(row) for row in right.rows}
+    out = [
+        row
+        for key, row in _representatives(left).items()
+        if key not in right_keys
+    ]
+    return DataSet(left.columns, out), work
+
+
+def intersect(
+    left: DataSet, right: DataSet, all_rows: bool = False
+) -> Tuple[DataSet, int]:
+    """INTERSECT [ALL]."""
+    _check_compatible(left, right)
+    work = left.cardinality + right.cardinality
+    if all_rows:
+        available = Counter(group_key(row) for row in right.rows)
+        out_rows: List[Tuple[SqlValue, ...]] = []
+        for row in left.rows:
+            key = group_key(row)
+            if available.get(key, 0) > 0:
+                available[key] -= 1
+                out_rows.append(row)
+        return DataSet(left.columns, out_rows), work
+    right_keys = {group_key(row) for row in right.rows}
+    out = [
+        row for key, row in _representatives(left).items() if key in right_keys
+    ]
+    return DataSet(left.columns, out), work
+
+
+def apply_set_operation(
+    operator: str, left: DataSet, right: DataSet, all_rows: bool
+) -> Tuple[DataSet, int]:
+    """Dispatch by operator name ('union' | 'except' | 'intersect')."""
+    if operator == "union":
+        return union(left, right, all_rows)
+    if operator == "except":
+        return except_(left, right, all_rows)
+    if operator == "intersect":
+        return intersect(left, right, all_rows)
+    raise ExecutionError(f"unknown set operator {operator!r}")

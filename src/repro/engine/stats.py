@@ -1,0 +1,80 @@
+"""Execution statistics: per-operator cardinalities and work counters.
+
+The paper's evaluation arguments are all about cardinalities flowing between
+operators ("the join is reduced from 10000 × 100 to 100 × 100 while the
+group-by input stays 10000").  The executor records exactly those numbers
+here, and the benchmark harness prints them next to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class NodeStats:
+    """Observed behaviour of one plan operator during one execution."""
+
+    label: str
+    kind: str  # e.g. "scan", "select", "join", "groupby", "project"
+    input_cardinalities: Tuple[int, ...]
+    output_cardinality: int
+    work: int  # algorithm-dependent unit: tuples examined / comparisons
+
+    @property
+    def join_work_product(self) -> int:
+        """For binary nodes: the |L| × |R| pairing the paper quotes."""
+        if len(self.input_cardinalities) == 2:
+            return self.input_cardinalities[0] * self.input_cardinalities[1]
+        return 0
+
+
+@dataclass
+class ExecutionStats:
+    """All operator stats for one plan execution."""
+
+    nodes: Dict[int, NodeStats] = field(default_factory=dict)
+    order: List[int] = field(default_factory=list)
+
+    def record(self, node_id: int, stats: NodeStats) -> None:
+        self.nodes[node_id] = stats
+        self.order.append(node_id)
+
+    def by_kind(self, kind: str) -> List[NodeStats]:
+        return [self.nodes[i] for i in self.order if self.nodes[i].kind == kind]
+
+    def total_work(self) -> int:
+        """Sum of per-operator work: the engine's machine-independent cost."""
+        return sum(self.nodes[i].work for i in self.order)
+
+    def join_input_sizes(self) -> List[Tuple[int, int]]:
+        """(|L|, |R|) of every join/product in execution order."""
+        return [
+            (s.input_cardinalities[0], s.input_cardinalities[1])
+            for s in (self.nodes[i] for i in self.order)
+            if len(s.input_cardinalities) == 2
+        ]
+
+    def groupby_input_rows(self) -> int:
+        """Total rows fed to grouping operators (the Figure 8 quantity)."""
+        return sum(s.input_cardinalities[0] for s in self.by_kind("groupby"))
+
+    def cardinality_map(self) -> Dict[int, Tuple[Tuple[int, ...], int]]:
+        """The shape :func:`repro.algebra.display.render_annotated` wants."""
+        return {
+            node_id: (s.input_cardinalities, s.output_cardinality)
+            for node_id, s in self.nodes.items()
+        }
+
+    def summary(self) -> str:
+        lines = []
+        for node_id in self.order:
+            s = self.nodes[node_id]
+            inputs = " x ".join(str(c) for c in s.input_cardinalities) or "-"
+            lines.append(
+                f"{s.kind:<8} {inputs:>15} -> {s.output_cardinality:<8} "
+                f"work={s.work:<10} {s.label}"
+            )
+        lines.append(f"total work: {self.total_work()}")
+        return "\n".join(lines)

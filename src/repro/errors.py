@@ -1,0 +1,62 @@
+"""Exception hierarchy for the groupby-pushdown engine.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type.  The subtypes mirror the layers of the system: typing,
+catalog/constraints, parsing, planning/execution, and the transformation
+theory itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeMismatchError(ReproError):
+    """A value does not conform to the SQL data type it was declared with."""
+
+
+class CatalogError(ReproError):
+    """A schema-level problem: unknown table/column, duplicate definition."""
+
+
+class ConstraintViolation(ReproError):
+    """An insert or update violates a declared integrity constraint."""
+
+    def __init__(self, constraint_name: str, message: str) -> None:
+        super().__init__(f"{constraint_name}: {message}")
+        self.constraint_name = constraint_name
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed.
+
+    Carries the (1-based) line and column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindingError(ReproError):
+    """A name in a query could not be resolved against the catalog."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while evaluating a plan (e.g. bad aggregate input)."""
+
+
+class TransformationError(ReproError):
+    """The query is outside the class handled by the paper's transformation.
+
+    Raised, for example, when every table carries aggregation columns (no
+    R1/R2 partition exists) or when a HAVING clause is present.
+    """
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for the query."""

@@ -1,0 +1,27 @@
+"""Cost-based planning: cardinality estimation, cost models, plan choice."""
+
+from repro.optimizer.cardinality import (
+    CardinalityEstimator,
+    ColumnStats,
+    EstimateContext,
+    Statistics,
+    TableStats,
+    collect_statistics,
+)
+from repro.optimizer.cost import (
+    CostModel,
+    CostWeights,
+    DistributedCostModel,
+    NetworkWeights,
+    PlanCost,
+)
+from repro.optimizer.histogram import Histogram
+from repro.optimizer.planner import POLICIES, PlanChoice, Planner
+
+__all__ = [
+    "CardinalityEstimator", "ColumnStats", "EstimateContext", "Statistics",
+    "TableStats", "collect_statistics",
+    "CostModel", "CostWeights", "DistributedCostModel", "NetworkWeights",
+    "PlanCost", "Histogram",
+    "POLICIES", "PlanChoice", "Planner",
+]

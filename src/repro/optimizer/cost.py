@@ -1,0 +1,202 @@
+"""Plan cost model: CPU work, and optionally two-site communication.
+
+Section 7 of the paper lists the trade-offs of eager grouping — the join
+input can only shrink, the group-by input may grow or shrink with join
+selectivity, and in a distributed database the transformation can slash
+communication because only one row per group crosses the wire.  This module
+turns those observations into numbers:
+
+* :class:`CostModel` — per-operator CPU costs driven by the cardinality
+  estimator (hash join ≈ |L|+|R|+|out|, hash group ≈ n+groups, etc.);
+* :class:`DistributedCostModel` — adds a transfer charge for shipping the
+  R1 side to the R2 site (or vice versa), the §7 communication argument.
+
+Costs are abstract units, not seconds: the reproduction targets the
+*shape* of the paper's comparisons (who wins, where the crossover falls).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.algebra.ops import (
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    PlanNode,
+    Product,
+    Project,
+    Relation,
+    Select,
+)
+from repro.optimizer.cardinality import CardinalityEstimator, EstimateContext
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Unit charges for the primitive operations."""
+
+    tuple_cpu: float = 1.0          # touching one tuple
+    hash_build: float = 1.5         # inserting into a hash table
+    hash_probe: float = 1.0         # probing a hash table
+    comparison: float = 1.0         # one sort comparison
+    output_tuple: float = 0.2       # emitting a result tuple
+
+
+@dataclass
+class PlanCost:
+    """A cost total plus the per-node breakdown for explainability."""
+
+    total: float
+    by_node: Dict[int, float]
+    rows_out: float
+
+
+class CostModel:
+    """Estimates the CPU cost of a logical plan."""
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        weights: CostWeights = CostWeights(),
+        join_algorithm: str = "hash",
+    ) -> None:
+        if join_algorithm not in ("hash", "nested_loop", "sort_merge"):
+            raise ValueError(f"bad join_algorithm: {join_algorithm}")
+        self.estimator = estimator
+        self.weights = weights
+        self.join_algorithm = join_algorithm
+
+    def cost(self, plan: PlanNode) -> PlanCost:
+        by_node: Dict[int, float] = {}
+        total, context = self._cost(plan, by_node)
+        return PlanCost(total, by_node, context.rows)
+
+    # -- recursion -----------------------------------------------------------
+
+    def _cost(self, plan: PlanNode, by_node: Dict[int, float]) -> Tuple[float, EstimateContext]:
+        w = self.weights
+        if isinstance(plan, Relation):
+            context = self.estimator.estimate(plan)
+            node_cost = context.rows * w.tuple_cpu
+            by_node[id(plan)] = node_cost
+            return node_cost, context
+
+        if isinstance(plan, Select):
+            child_cost, child = self._cost(plan.child, by_node)
+            context = self.estimator.estimate(plan)
+            node_cost = child.rows * w.tuple_cpu
+            by_node[id(plan)] = node_cost
+            return child_cost + node_cost, context
+
+        if isinstance(plan, Project):
+            child_cost, child = self._cost(plan.child, by_node)
+            context = self.estimator.estimate(plan)
+            node_cost = child.rows * w.tuple_cpu
+            if plan.distinct:
+                node_cost += child.rows * w.hash_build
+            by_node[id(plan)] = node_cost
+            return child_cost + node_cost, context
+
+        if isinstance(plan, (Join, Product)):
+            left_cost, left = self._cost(plan.left, by_node)
+            right_cost, right = self._cost(plan.right, by_node)
+            context = self.estimator.estimate(plan)
+            node_cost = self._join_cost(plan, left, right, context)
+            by_node[id(plan)] = node_cost
+            return left_cost + right_cost + node_cost, context
+
+        if isinstance(plan, GroupApply):
+            child_cost, child = self._cost(plan.child, by_node)
+            context = self.estimator.estimate(plan)
+            node_cost = (
+                child.rows * w.hash_build + context.rows * w.output_tuple
+            )
+            by_node[id(plan)] = node_cost
+            return child_cost + node_cost, context
+
+        if isinstance(plan, Apply) and isinstance(plan.child, Group):
+            # Cost the fused form: Group+Apply is one aggregation operator.
+            child_cost, child = self._cost(plan.child.child, by_node)
+            context = self.estimator.estimate(plan)
+            node_cost = child.rows * w.hash_build + context.rows * w.output_tuple
+            by_node[id(plan)] = node_cost
+            return child_cost + node_cost, context
+
+        if isinstance(plan, Group):
+            child_cost, child = self._cost(plan.child, by_node)
+            context = self.estimator.estimate(plan)
+            node_cost = _nlogn(child.rows) * w.comparison
+            by_node[id(plan)] = node_cost
+            return child_cost + node_cost, context
+
+        raise TypeError(f"cannot cost {type(plan).__name__}")
+
+    def _join_cost(
+        self,
+        plan: "Join | Product",
+        left: EstimateContext,
+        right: EstimateContext,
+        output: EstimateContext,
+    ) -> float:
+        w = self.weights
+        if isinstance(plan, Product) or (isinstance(plan, Join) and plan.condition is None):
+            return left.rows * right.rows * w.tuple_cpu
+        if self.join_algorithm == "nested_loop":
+            return left.rows * right.rows * w.tuple_cpu + output.rows * w.output_tuple
+        if self.join_algorithm == "sort_merge":
+            return (
+                (_nlogn(left.rows) + _nlogn(right.rows)) * w.comparison
+                + (left.rows + right.rows) * w.tuple_cpu
+                + output.rows * w.output_tuple
+            )
+        # hash join: build on the smaller input
+        build, probe = (right, left) if right.rows <= left.rows else (left, right)
+        return (
+            build.rows * w.hash_build
+            + probe.rows * w.hash_probe
+            + output.rows * w.output_tuple
+        )
+
+
+@dataclass(frozen=True)
+class NetworkWeights:
+    """Two-site communication charges (per row shipped)."""
+
+    per_row: float = 50.0  # a shipped row costs this many CPU-units
+    per_query_setup: float = 100.0
+
+
+class DistributedCostModel:
+    """CPU cost plus the §7 communication term for a two-site layout.
+
+    The R1-group tables live on site 1, the R2-group tables on site 2, and
+    the join executes at site 2: whatever the plan produces on the R1 side
+    (the raw filtered rows for E1, one row per group for E2) must cross the
+    network.  ``transfer_rows(plan_r1_side_rows)`` is charged at
+    ``per_row``.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        network: NetworkWeights = NetworkWeights(),
+    ) -> None:
+        self.cost_model = cost_model
+        self.network = network
+
+    def cost_with_transfer(self, plan: PlanNode, shipped_subplan: PlanNode) -> float:
+        """Total cost of ``plan`` when ``shipped_subplan``'s output crosses
+        the network."""
+        base = self.cost_model.cost(plan).total
+        shipped_rows = self.cost_model.estimator.rows(shipped_subplan)
+        return base + self.network.per_query_setup + shipped_rows * self.network.per_row
+
+
+def _nlogn(n: float) -> float:
+    if n <= 1.0:
+        return n
+    return n * math.log2(n)

@@ -1,0 +1,128 @@
+"""Equi-depth histograms for range-selectivity estimation.
+
+The classic System-R constants (1/3 for a range predicate) are blind to
+skew; an equi-depth histogram splits a column's sorted values into buckets
+of (nearly) equal row count and interpolates inside the boundary bucket.
+The estimator consults histograms for ``col op constant`` range predicates
+and BETWEEN; everything else keeps the default constants.
+
+This is an *extension* beyond the paper (Section 7 presupposes "estimated
+cost" without a model); the ablation bench quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sqltypes.values import is_null
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-depth histogram over one numeric (or orderable) column.
+
+    ``boundaries`` has one more entry than there are buckets; bucket ``i``
+    covers ``[boundaries[i], boundaries[i+1]]`` and holds ``counts[i]``
+    rows.  ``null_count`` rows hold NULL and fall in no bucket.
+    """
+
+    boundaries: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    null_count: int
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.null_count
+
+    @classmethod
+    def build(cls, values: Sequence[object], buckets: int = 10) -> Optional["Histogram"]:
+        """Build from raw column values; None when nothing is orderable."""
+        numeric: List[float] = []
+        nulls = 0
+        for value in values:
+            if is_null(value):
+                nulls += 1
+            elif isinstance(value, bool):
+                return None  # booleans: histograms add nothing
+            elif isinstance(value, (int, float)):
+                numeric.append(float(value))
+            else:
+                return None  # non-numeric column: skip
+        if not numeric:
+            return None
+        numeric.sort()
+        n = len(numeric)
+        buckets = max(1, min(buckets, n))
+        boundaries: List[float] = [numeric[0]]
+        counts: List[int] = []
+        start = 0
+        for i in range(1, buckets + 1):
+            end = round(i * n / buckets)
+            end = max(end, start + 1)
+            end = min(end, n)
+            counts.append(end - start)
+            boundaries.append(numeric[end - 1])
+            start = end
+            if start >= n:
+                break
+        return cls(tuple(boundaries), tuple(counts), nulls)
+
+    # -- selectivities (fractions of the *total* rows, NULLs never match) --
+
+    def _non_null_fraction_le(self, value: float) -> float:
+        """Fraction of non-NULL rows with column <= value."""
+        if value < self.boundaries[0]:
+            return 0.0
+        if value >= self.boundaries[-1]:
+            return 1.0
+        non_null = sum(self.counts)
+        covered = 0.0
+        for i, count in enumerate(self.counts):
+            low = self.boundaries[i]
+            high = self.boundaries[i + 1]
+            if value >= high:
+                covered += count
+                continue
+            if value < low:
+                break
+            width = high - low
+            fraction = 1.0 if width == 0 else (value - low) / width
+            covered += count * fraction
+            break
+        return covered / non_null if non_null else 0.0
+
+    def selectivity_le(self, value: float) -> float:
+        non_null = sum(self.counts)
+        if self.total == 0:
+            return 0.0
+        return self._non_null_fraction_le(value) * non_null / self.total
+
+    def selectivity_lt(self, value: float) -> float:
+        # Continuous approximation: < and <= coincide.
+        return self.selectivity_le(value)
+
+    def selectivity_ge(self, value: float) -> float:
+        non_null = sum(self.counts)
+        if self.total == 0:
+            return 0.0
+        return (1.0 - self._non_null_fraction_le(value)) * non_null / self.total
+
+    def selectivity_gt(self, value: float) -> float:
+        return self.selectivity_ge(value)
+
+    def selectivity_between(self, low: float, high: float) -> float:
+        if high < low:
+            return 0.0
+        non_null = sum(self.counts)
+        if self.total == 0:
+            return 0.0
+        span = self._non_null_fraction_le(high) - self._non_null_fraction_le(low)
+        return max(0.0, span) * non_null / self.total
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({len(self.counts)} buckets, "
+            f"range [{self.boundaries[0]}, {self.boundaries[-1]}], "
+            f"{self.total} rows, {self.null_count} NULL)"
+        )

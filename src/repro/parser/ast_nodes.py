@@ -1,0 +1,159 @@
+"""Statement-level AST produced by the parser.
+
+Expression-level nodes reuse :mod:`repro.expressions.ast` directly; only
+statements need their own shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.expressions.ast import ColumnRef, Expression
+from repro.sqltypes.values import SqlValue
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression and its optional alias."""
+
+    expression: Expression
+    alias: str = ""
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: table (or view) name plus correlation name."""
+
+    name: str
+    alias: str = ""
+
+    @property
+    def correlation(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: a column (or SELECT alias) and a direction."""
+
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    distinct: bool
+    items: Tuple[SelectItem, ...]
+    from_tables: Tuple[TableRef, ...]
+    where: Optional[Expression]
+    group_by: Tuple[ColumnRef, ...]
+    having: Optional[Expression]
+    order_by: Tuple[OrderItem, ...]
+
+    def __init__(
+        self,
+        distinct: bool,
+        items: Sequence[SelectItem],
+        from_tables: Sequence[TableRef],
+        where: Optional[Expression],
+        group_by: Sequence[ColumnRef] = (),
+        having: Optional[Expression] = None,
+        order_by: Sequence[OrderItem] = (),
+    ) -> None:
+        object.__setattr__(self, "distinct", distinct)
+        object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "from_tables", tuple(from_tables))
+        object.__setattr__(self, "where", where)
+        object.__setattr__(self, "group_by", tuple(group_by))
+        object.__setattr__(self, "having", having)
+        object.__setattr__(self, "order_by", tuple(order_by))
+
+
+@dataclass(frozen=True)
+class SetOperationStatement:
+    """``left UNION/EXCEPT/INTERSECT [ALL] right``, left-associative.
+
+    ``left``/``right`` are :class:`SelectStatement` or nested
+    :class:`SetOperationStatement`.  A trailing ORDER BY applies to the
+    whole chain.
+    """
+
+    left: object
+    operator: str  # "union" | "except" | "intersect"
+    all_rows: bool
+    right: object
+    order_by: Tuple[OrderItem, ...] = ()
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    name: str
+    type_name: str
+    type_params: Tuple[int, ...] = ()
+    not_null: bool = False
+    unique: bool = False
+    primary_key: bool = False
+    check: Optional[Expression] = None
+    references: Optional[Tuple[str, Tuple[str, ...]]] = None  # (table, cols)
+
+
+@dataclass(frozen=True)
+class TableConstraintDef:
+    """A table-level constraint clause."""
+
+    kind: str  # "primary_key" | "unique" | "check" | "foreign_key"
+    columns: Tuple[str, ...] = ()
+    check: Optional[Expression] = None
+    references: Optional[Tuple[str, Tuple[str, ...]]] = None
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    name: str
+    columns: Tuple[ColumnDefinition, ...]
+    constraints: Tuple[TableConstraintDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateDomainStatement:
+    name: str
+    type_name: str
+    type_params: Tuple[int, ...] = ()
+    check: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class CreateViewStatement:
+    name: str
+    column_names: Tuple[str, ...]
+    select: SelectStatement
+
+
+@dataclass(frozen=True)
+class CreateAssertionStatement:
+    name: str
+    check: Expression
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: Tuple[Tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: Tuple[str, ...]  # empty = positional
+    rows: Tuple[Tuple[SqlValue, ...], ...]
+
+
+Statement = object  # union of the dataclasses above

@@ -1,0 +1,128 @@
+"""Hand-written SQL lexer.
+
+Produces a stream of :class:`~repro.parser.tokens.Token`.  Identifiers are
+case-preserved; keyword recognition is case-insensitive (the token text is
+upper-cased for keywords).  Strings use SQL single quotes with ``''``
+escaping.  ``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError
+from repro.parser.tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR_OPERATORS = ("<>", "<=", ">=")
+_ONE_CHAR_OPERATORS = "=<>+-*/"
+_PUNCTUATION = "(),.;"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens (terminated by an EOF token)."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    column = 1
+    n = len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, column
+        for __ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                advance()
+            continue
+
+        start_line, start_column = line, column
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start_line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start_line, start_column))
+            advance(j - i)
+            continue
+
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            token_type = TokenType.FLOAT if is_float else TokenType.INTEGER
+            tokens.append(Token(token_type, text[i:j], start_line, start_column))
+            advance(j - i)
+            continue
+
+        if ch == "'":
+            j = i + 1
+            pieces: List[str] = []
+            while True:
+                if j >= n:
+                    raise ParseError("unterminated string literal", start_line, start_column)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        pieces.append("'")
+                        j += 2
+                        continue
+                    break
+                pieces.append(text[j])
+                j += 1
+            tokens.append(
+                Token(TokenType.STRING, "".join(pieces), start_line, start_column)
+            )
+            advance(j + 1 - i)
+            continue
+
+        if ch == ":":
+            j = i + 1
+            if j >= n or not (text[j].isalpha() or text[j] == "_"):
+                raise ParseError("expected name after ':'", start_line, start_column)
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(
+                Token(TokenType.HOST_VARIABLE, text[i + 1 : j], start_line, start_column)
+            )
+            advance(j - i)
+            continue
+
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, two, start_line, start_column))
+            advance(2)
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, start_line, start_column))
+            advance()
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, start_line, start_column))
+            advance()
+            continue
+
+        raise ParseError(f"unexpected character {ch!r}", start_line, start_column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

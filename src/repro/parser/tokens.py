@@ -1,0 +1,50 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TokenType(enum.Enum):
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"     # = <> < <= > >= + - * /
+    PUNCTUATION = "punct"     # ( ) , . ;
+    HOST_VARIABLE = "hostvar" # :name
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser (SQL2 subset used in the paper).
+KEYWORDS = frozenset(
+    {
+        "ALL", "AND", "AS", "ASC", "ASSERTION", "AVG", "BETWEEN", "BOOLEAN",
+        "BY", "CHAR", "CHARACTER", "CHECK", "COUNT", "CREATE", "DATE",
+        "DECIMAL", "DELETE", "DESC", "DISTINCT", "DOMAIN", "DROP", "FALSE", "FLOAT",
+        "EXCEPT", "FOREIGN", "FROM", "GROUP", "HAVING", "IN", "INSERT", "INT",
+        "INTEGER", "INTERSECT", "INTO", "IS", "KEY", "LIKE", "MAX", "MIN", "NOT", "NULL",
+        "NUMERIC", "ON", "OR", "ORDER", "PRIMARY", "REAL", "REFERENCES",
+        "SELECT", "SET", "SMALLINT", "SUM", "TABLE", "TRUE", "UNION", "UNIQUE", "UPDATE", "VALUE",
+        "VALUES", "VARCHAR", "VIEW", "WHERE",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in words
+
+    def __str__(self) -> str:
+        return f"{self.type.value}:{self.text!r}@{self.line}:{self.column}"

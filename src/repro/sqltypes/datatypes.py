@@ -1,0 +1,247 @@
+"""SQL data types and value validation/coercion.
+
+The engine supports the data types used in the paper's examples (Figure 5):
+SMALLINT, INTEGER, CHARACTER(n), plus the usual companions VARCHAR, DECIMAL,
+FLOAT, BOOLEAN and DATE.  A :class:`DataType` validates and lightly coerces
+Python values at insert time; NULL is accepted by every type (nullability is
+a *constraint*, not part of the type).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TypeMismatchError
+from repro.sqltypes.values import NULL, SqlValue, is_null
+
+_SMALLINT_MIN = -(2**15)
+_SMALLINT_MAX = 2**15 - 1
+_INTEGER_MIN = -(2**31)
+_INTEGER_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base class for SQL data types."""
+
+    def validate(self, value: object) -> SqlValue:
+        """Check/coerce ``value``; raise :class:`TypeMismatchError` if bad."""
+        raise NotImplementedError
+
+    @property
+    def type_name(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.type_name
+
+
+@dataclass(frozen=True)
+class SmallIntType(DataType):
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"SMALLINT got {type(value).__name__}")
+        if not _SMALLINT_MIN <= value <= _SMALLINT_MAX:
+            raise TypeMismatchError(f"SMALLINT out of range: {value}")
+        return value
+
+    @property
+    def type_name(self) -> str:
+        return "SMALLINT"
+
+
+@dataclass(frozen=True)
+class IntegerType(DataType):
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"INTEGER got {type(value).__name__}")
+        if not _INTEGER_MIN <= value <= _INTEGER_MAX:
+            raise TypeMismatchError(f"INTEGER out of range: {value}")
+        return value
+
+    @property
+    def type_name(self) -> str:
+        return "INTEGER"
+
+
+@dataclass(frozen=True)
+class FloatType(DataType):
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if isinstance(value, bool):
+            raise TypeMismatchError("FLOAT got bool")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, decimal.Decimal):
+            return float(value)
+        raise TypeMismatchError(f"FLOAT got {type(value).__name__}")
+
+    @property
+    def type_name(self) -> str:
+        return "FLOAT"
+
+
+@dataclass(frozen=True)
+class DecimalType(DataType):
+    precision: int = 18
+    scale: int = 0
+
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if isinstance(value, bool):
+            raise TypeMismatchError("DECIMAL got bool")
+        if isinstance(value, (int, decimal.Decimal)):
+            result = decimal.Decimal(value)
+        elif isinstance(value, float):
+            result = decimal.Decimal(str(value))
+        else:
+            raise TypeMismatchError(f"DECIMAL got {type(value).__name__}")
+        digits = result.as_tuple()
+        if len(digits.digits) > self.precision:
+            raise TypeMismatchError(
+                f"DECIMAL({self.precision},{self.scale}) overflow: {value}"
+            )
+        return result
+
+    @property
+    def type_name(self) -> str:
+        return f"DECIMAL({self.precision},{self.scale})"
+
+
+@dataclass(frozen=True)
+class CharType(DataType):
+    """CHARACTER(n): fixed length, blank-padded on comparison per SQL.
+
+    We store strings as given but reject over-length values; trailing-blank
+    insensitivity is handled by equality on stripped values being out of
+    scope for this reproduction (the paper never relies on it).
+    """
+
+    length: int = 1
+
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"CHARACTER got {type(value).__name__}")
+        if len(value) > self.length:
+            raise TypeMismatchError(
+                f"CHARACTER({self.length}) got string of length {len(value)}"
+            )
+        return value
+
+    @property
+    def type_name(self) -> str:
+        return f"CHARACTER({self.length})"
+
+
+@dataclass(frozen=True)
+class VarCharType(DataType):
+    length: int = 255
+
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"VARCHAR got {type(value).__name__}")
+        if len(value) > self.length:
+            raise TypeMismatchError(
+                f"VARCHAR({self.length}) got string of length {len(value)}"
+            )
+        return value
+
+    @property
+    def type_name(self) -> str:
+        return f"VARCHAR({self.length})"
+
+
+@dataclass(frozen=True)
+class BooleanType(DataType):
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if not isinstance(value, bool):
+            raise TypeMismatchError(f"BOOLEAN got {type(value).__name__}")
+        return value
+
+    @property
+    def type_name(self) -> str:
+        return "BOOLEAN"
+
+
+@dataclass(frozen=True)
+class DateType(DataType):
+    def validate(self, value: object) -> SqlValue:
+        if is_null(value):
+            return NULL
+        if isinstance(value, datetime.datetime):
+            raise TypeMismatchError("DATE got datetime (use date)")
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeMismatchError(f"DATE got unparsable string {value!r}") from exc
+        raise TypeMismatchError(f"DATE got {type(value).__name__}")
+
+    @property
+    def type_name(self) -> str:
+        return "DATE"
+
+
+SMALLINT = SmallIntType()
+INTEGER = IntegerType()
+FLOAT = FloatType()
+BOOLEAN = BooleanType()
+DATE = DateType()
+
+
+def CHAR(length: int) -> CharType:
+    """Construct a CHARACTER(n) type."""
+    return CharType(length)
+
+
+def VARCHAR(length: int) -> VarCharType:
+    """Construct a VARCHAR(n) type."""
+    return VarCharType(length)
+
+
+def DECIMAL(precision: int = 18, scale: int = 0) -> DecimalType:
+    """Construct a DECIMAL(p, s) type."""
+    return DecimalType(precision, scale)
+
+
+def type_from_name(name: str, *params: int) -> DataType:
+    """Resolve a type name (as produced by the parser) to a :class:`DataType`."""
+    upper = name.upper()
+    if upper == "SMALLINT":
+        return SMALLINT
+    if upper in ("INTEGER", "INT"):
+        return INTEGER
+    if upper in ("FLOAT", "REAL", "DOUBLE"):
+        return FLOAT
+    if upper == "BOOLEAN":
+        return BOOLEAN
+    if upper == "DATE":
+        return DATE
+    if upper in ("CHARACTER", "CHAR"):
+        return CHAR(params[0] if params else 1)
+    if upper in ("VARCHAR", "CHARACTER VARYING"):
+        return VARCHAR(params[0] if params else 255)
+    if upper in ("DECIMAL", "NUMERIC"):
+        if len(params) >= 2:
+            return DECIMAL(params[0], params[1])
+        if len(params) == 1:
+            return DECIMAL(params[0])
+        return DECIMAL()
+    raise TypeMismatchError(f"unknown SQL type: {name}")

@@ -1,0 +1,6 @@
+"""Storage: rows with RowIDs and constraint-checked multiset tables."""
+
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["Row", "Table"]

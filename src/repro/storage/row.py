@@ -1,0 +1,36 @@
+"""Rows: tuples of SQL values plus the implicit RowID of Section 4.3.
+
+The paper assumes "there always exists a column in each table called RowID,
+which can uniquely identify a row", purely to let the analysis distinguish
+duplicates.  We honor that: every stored row carries a ``rowid`` that never
+appears in query results but is available to the FD checker (FD2 talks about
+``RowID(R2)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.sqltypes.values import SqlValue
+
+
+class Row:
+    """An immutable stored row: values plus a table-unique rowid."""
+
+    __slots__ = ("values", "rowid")
+
+    def __init__(self, values: Sequence[SqlValue], rowid: int) -> None:
+        self.values: Tuple[SqlValue, ...] = tuple(values)
+        self.rowid = rowid
+
+    def __iter__(self) -> Iterator[SqlValue]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> SqlValue:
+        return self.values[index]
+
+    def __repr__(self) -> str:
+        return f"Row(rowid={self.rowid}, {self.values!r})"

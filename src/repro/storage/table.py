@@ -1,0 +1,241 @@
+"""Tables: multisets of rows with constraint-checked inserts.
+
+A :class:`Table` owns its rows and enforces the *single-table* constraints
+declared in its schema at insert time: data types, NOT NULL, CHECK, primary
+key uniqueness/non-nullity, and UNIQUE candidate keys (with SQL2's "NULL not
+equal to NULL" uniqueness).  Cross-table constraints (foreign keys,
+multi-table assertions) are enforced by
+:class:`repro.catalog.catalog.Database`, which owns the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.constraints import (
+    CheckConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+from repro.catalog.schema import TableSchema
+from repro.errors import CatalogError, ConstraintViolation
+from repro.expressions.eval import RowScope
+from repro.sqltypes.values import SqlValue, group_key, is_null
+from repro.storage.row import Row
+
+
+class Table:
+    """A stored base table (or materialized intermediate)."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._next_rowid = 1
+        # Per-key duplicate indexes for O(1) key checks.
+        self._key_indexes: Dict[Tuple[str, ...], Dict[Tuple, int]] = {
+            key: {} for key in schema.candidate_keys()
+        }
+        pk = schema.primary_key()
+        self._pk: Optional[Tuple[str, ...]] = pk
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def column_names(self) -> Tuple[str, ...]:
+        return self.schema.column_names()
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, values: "Sequence[SqlValue] | Mapping[str, SqlValue]") -> Row:
+        """Validate and insert one row; returns the stored :class:`Row`.
+
+        ``values`` is either positional (matching schema order) or a mapping
+        from column name to value (missing columns default to NULL).
+        """
+        ordered = self._order_values(values)
+        typed = self._validate_types(ordered)
+        scope = RowScope.from_pairs(
+            (f"{self.name}.{c}" for c in self.schema.column_names()), typed
+        )
+        self._check_not_null(typed)
+        self._check_checks(scope)
+        self._check_keys(typed)
+        row = Row(typed, self._next_rowid)
+        self._next_rowid += 1
+        self._rows.append(row)
+        self._register_keys(row)
+        return row
+
+    def insert_many(
+        self, rows: Iterable["Sequence[SqlValue] | Mapping[str, SqlValue]"]
+    ) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._next_rowid = 1
+        for index in self._key_indexes.values():
+            index.clear()
+
+    def delete_rowids(self, rowids: "set[int] | frozenset[int]") -> int:
+        """Remove the rows with the given rowids; returns the count removed.
+
+        Key-index entries for the removed rows are dropped; remaining
+        rowids are untouched (rowids are never reused within a snapshot).
+        """
+        doomed = [row for row in self._rows if row.rowid in rowids]
+        if not doomed:
+            return 0
+        for row in doomed:
+            for key_columns, index in self._key_indexes.items():
+                key_values = [
+                    row.values[self.schema.index_of(column)]
+                    for column in key_columns
+                ]
+                if any(is_null(v) for v in key_values):
+                    continue
+                key = self._key_tuple(key_columns, row.values)
+                if index.get(key) == row.rowid:
+                    del index[key]
+        self._rows = [row for row in self._rows if row.rowid not in rowids]
+        return len(doomed)
+
+    def snapshot(self) -> "tuple":
+        """Capture state for atomic multi-row statements (UPDATE/DELETE)."""
+        return (
+            list(self._rows),
+            self._next_rowid,
+            {key: dict(index) for key, index in self._key_indexes.items()},
+        )
+
+    def restore(self, snapshot: "tuple") -> None:
+        """Roll back to a :meth:`snapshot`."""
+        rows, next_rowid, indexes = snapshot
+        self._rows = list(rows)
+        self._next_rowid = next_rowid
+        self._key_indexes = {key: dict(index) for key, index in indexes.items()}
+
+    # -- validation helpers ------------------------------------------------
+
+    def _order_values(
+        self, values: "Sequence[SqlValue] | Mapping[str, SqlValue]"
+    ) -> Tuple[SqlValue, ...]:
+        from repro.sqltypes.values import NULL
+
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(self.schema.column_names())
+            if unknown:
+                raise CatalogError(
+                    f"insert into {self.name}: unknown columns {sorted(unknown)}"
+                )
+            return tuple(
+                values.get(column, NULL) for column in self.schema.column_names()
+            )
+        ordered = tuple(values)
+        if len(ordered) != self.schema.arity:
+            raise CatalogError(
+                f"insert into {self.name}: expected {self.schema.arity} values, "
+                f"got {len(ordered)}"
+            )
+        return ordered
+
+    def _validate_types(self, values: Tuple[SqlValue, ...]) -> Tuple[SqlValue, ...]:
+        return tuple(
+            column.datatype.validate(value)
+            for column, value in zip(self.schema.columns, values)
+        )
+
+    def _check_not_null(self, values: Tuple[SqlValue, ...]) -> None:
+        for column, value in zip(self.schema.columns, values):
+            if not column.nullable and is_null(value):
+                raise ConstraintViolation(
+                    f"{self.name}.{column.name} NOT NULL",
+                    f"{column.name} is NULL",
+                )
+
+    def _check_checks(self, scope: RowScope) -> None:
+        for constraint in self.schema.constraints:
+            if isinstance(constraint, CheckConstraint):
+                constraint.check_row(self.name, scope)
+
+    def _key_tuple(self, key: Tuple[str, ...], values: Tuple[SqlValue, ...]) -> Tuple:
+        indexes = [self.schema.index_of(column) for column in key]
+        return group_key(tuple(values[i] for i in indexes))
+
+    def _check_keys(self, values: Tuple[SqlValue, ...]) -> None:
+        for constraint in self.schema.constraints:
+            if isinstance(constraint, PrimaryKeyConstraint):
+                key_values = [
+                    values[self.schema.index_of(column)]
+                    for column in constraint.columns
+                ]
+                if any(is_null(v) for v in key_values):
+                    raise ConstraintViolation(
+                        constraint.constraint_name(self.name),
+                        "primary key column is NULL",
+                    )
+                key = self._key_tuple(constraint.columns, values)
+                if key in self._key_indexes[constraint.columns]:
+                    raise ConstraintViolation(
+                        constraint.constraint_name(self.name),
+                        f"duplicate key value {key_values!r}",
+                    )
+            elif isinstance(constraint, UniqueConstraint):
+                key_values = [
+                    values[self.schema.index_of(column)]
+                    for column in constraint.columns
+                ]
+                # SQL2 UNIQUE: rows with any NULL key column never conflict.
+                if any(is_null(v) for v in key_values):
+                    continue
+                key = self._key_tuple(constraint.columns, values)
+                if key in self._key_indexes[constraint.columns]:
+                    raise ConstraintViolation(
+                        constraint.constraint_name(self.name),
+                        f"duplicate key value {key_values!r}",
+                    )
+
+    def _register_keys(self, row: Row) -> None:
+        for key_columns, index in self._key_indexes.items():
+            key_values = [
+                row.values[self.schema.index_of(column)] for column in key_columns
+            ]
+            if any(is_null(v) for v in key_values):
+                continue  # NULL-bearing UNIQUE keys never participate
+            index[self._key_tuple(key_columns, row.values)] = row.rowid
+
+    # -- lookups used by FK enforcement -----------------------------------
+
+    def has_key_value(
+        self, key_columns: Tuple[str, ...], key_values: Sequence[SqlValue]
+    ) -> bool:
+        """Whether a row with these values for ``key_columns`` exists."""
+        if key_columns in self._key_indexes:
+            probe = group_key(tuple(key_values))
+            return probe in self._key_indexes[key_columns]
+        indexes = [self.schema.index_of(column) for column in key_columns]
+        probe = group_key(tuple(key_values))
+        return any(
+            group_key(tuple(row.values[i] for i in indexes)) == probe
+            for row in self._rows
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self._rows)} rows)"

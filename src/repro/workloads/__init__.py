@@ -1,0 +1,26 @@
+"""The paper's example schemas and deterministic synthetic data generators."""
+
+from repro.workloads.generators import (
+    TwoTableSpec,
+    make_two_table,
+    populate_employee_department,
+    populate_example4,
+    populate_part_supplier,
+    populate_printer_accounting,
+    populate_retail,
+)
+from repro.workloads.schemas import (
+    make_employee_department,
+    make_figure5_schema,
+    make_part_supplier,
+    make_printer_schema,
+    make_retail_star,
+)
+
+__all__ = [
+    "TwoTableSpec", "make_two_table", "populate_employee_department",
+    "populate_example4", "populate_part_supplier",
+    "populate_printer_accounting", "populate_retail",
+    "make_employee_department", "make_figure5_schema", "make_part_supplier",
+    "make_printer_schema", "make_retail_star",
+]

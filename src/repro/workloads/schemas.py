@@ -1,0 +1,241 @@
+"""The paper's example schemas, ready to instantiate.
+
+* Example 1: ``Employee`` / ``Department``;
+* Example 2: ``Part`` / ``Supplier``;
+* Examples 3 & 5: ``UserAccount`` / ``PrinterAuth`` / ``Printer``;
+* Figure 5: the constraint-showcase table (domain, CHECK, UNIQUE, PK, FK).
+
+Each ``make_*`` function returns a fresh :class:`Database` with the schema
+created (and, for Figure 5, its referenced table); population is the
+generators' job (:mod:`repro.workloads.generators`).
+"""
+
+from __future__ import annotations
+
+from repro.catalog import (
+    CheckConstraint,
+    Column,
+    Database,
+    Domain,
+    ForeignKeyConstraint,
+    PrimaryKeyConstraint,
+    TableSchema,
+    UniqueConstraint,
+)
+from repro.expressions.builder import and_, col, gt, lt
+from repro.sqltypes import CHAR, INTEGER, SMALLINT, VARCHAR
+
+
+def make_employee_department() -> Database:
+    """Example 1: Employee(EmpID, LastName, FirstName, DeptID),
+    Department(DeptID, Name)."""
+    db = Database("example1")
+    db.create_table(
+        TableSchema(
+            "Department",
+            [Column("DeptID", INTEGER), Column("Name", VARCHAR(30))],
+            [PrimaryKeyConstraint(["DeptID"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Employee",
+            [
+                Column("EmpID", INTEGER),
+                Column("LastName", VARCHAR(30)),
+                Column("FirstName", VARCHAR(30)),
+                Column("DeptID", INTEGER),
+            ],
+            [
+                PrimaryKeyConstraint(["EmpID"]),
+                ForeignKeyConstraint(["DeptID"], "Department", ["DeptID"]),
+            ],
+        )
+    )
+    return db
+
+
+def make_part_supplier() -> Database:
+    """Example 2: Part(ClassCode, PartNo, PartName, SupplierNo),
+    Supplier(SupplierNo, Name, Address)."""
+    db = Database("example2")
+    db.create_table(
+        TableSchema(
+            "Supplier",
+            [
+                Column("SupplierNo", INTEGER),
+                Column("Name", VARCHAR(30)),
+                Column("Address", VARCHAR(60)),
+            ],
+            [PrimaryKeyConstraint(["SupplierNo"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Part",
+            [
+                Column("ClassCode", INTEGER),
+                Column("PartNo", INTEGER),
+                Column("PartName", VARCHAR(30)),
+                Column("SupplierNo", INTEGER),
+            ],
+            [
+                PrimaryKeyConstraint(["ClassCode", "PartNo"]),
+                ForeignKeyConstraint(["SupplierNo"], "Supplier", ["SupplierNo"]),
+            ],
+        )
+    )
+    return db
+
+
+def make_printer_schema() -> Database:
+    """Examples 3 & 5: UserAccount, PrinterAuth, Printer."""
+    db = Database("example3")
+    db.create_table(
+        TableSchema(
+            "UserAccount",
+            [
+                Column("UserId", INTEGER),
+                Column("Machine", VARCHAR(20)),
+                Column("UserName", VARCHAR(30)),
+            ],
+            [PrimaryKeyConstraint(["UserId", "Machine"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Printer",
+            [
+                Column("PNo", INTEGER),
+                Column("Speed", INTEGER),
+                Column("Make", VARCHAR(20)),
+            ],
+            [PrimaryKeyConstraint(["PNo"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "PrinterAuth",
+            [
+                Column("UserId", INTEGER),
+                Column("Machine", VARCHAR(20)),
+                Column("PNo", INTEGER),
+                Column("Usage", INTEGER),
+            ],
+            [
+                PrimaryKeyConstraint(["UserId", "Machine", "PNo"]),
+                ForeignKeyConstraint(["PNo"], "Printer", ["PNo"]),
+            ],
+        )
+    )
+    return db
+
+
+def make_retail_star() -> Database:
+    """A small retail star schema: one fact table, three dimensions.
+
+    The shape the paper's introduction motivates — "SQL queries containing
+    joins and group-by are fairly common" — where eager aggregation shines:
+    the fact table dwarfs the dimensions, and reports group by dimension
+    attributes while aggregating fact measures.
+    """
+    db = Database("retail")
+    db.create_table(
+        TableSchema(
+            "Customer",
+            [
+                Column("CustID", INTEGER),
+                Column("Name", VARCHAR(30)),
+                Column("Segment", VARCHAR(20)),
+            ],
+            [PrimaryKeyConstraint(["CustID"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Product",
+            [
+                Column("ProdID", INTEGER),
+                Column("PName", VARCHAR(30)),
+                Column("Category", VARCHAR(20)),
+            ],
+            [PrimaryKeyConstraint(["ProdID"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Store",
+            [
+                Column("StoreID", INTEGER),
+                Column("City", VARCHAR(20)),
+                Column("Region", VARCHAR(20)),
+            ],
+            [PrimaryKeyConstraint(["StoreID"])],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Sales",
+            [
+                Column("SaleID", INTEGER),
+                Column("CustID", INTEGER),
+                Column("ProdID", INTEGER),
+                Column("StoreID", INTEGER),
+                Column("Qty", INTEGER),
+                Column("Amount", INTEGER),
+            ],
+            [
+                PrimaryKeyConstraint(["SaleID"]),
+                ForeignKeyConstraint(["CustID"], "Customer", ["CustID"]),
+                ForeignKeyConstraint(["ProdID"], "Product", ["ProdID"]),
+                ForeignKeyConstraint(["StoreID"], "Store", ["StoreID"]),
+            ],
+        )
+    )
+    return db
+
+
+def make_figure5_schema() -> Database:
+    """Figure 5: the constraint showcase.
+
+    The paper's DDL (modulo its typo of naming the table "Department" while
+    clearly describing an employee table): a domain with a CHECK, column
+    CHECKs, UNIQUE, NOT NULL, PRIMARY KEY and a FOREIGN KEY to ``Dept``.
+    """
+    db = Database("figure5")
+    db.create_domain(
+        Domain(
+            "DepIdType",
+            SMALLINT,
+            and_(gt(col("VALUE"), 0), lt(col("VALUE"), 100)),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "Dept",
+            [Column("DeptID", SMALLINT), Column("Name", VARCHAR(30))],
+            [PrimaryKeyConstraint(["DeptID"])],
+        )
+    )
+    domain = db.resolve_domain("DepIdType")
+    db.create_table(
+        TableSchema(
+            "EmployeeInfo",
+            [
+                Column("EmpID", INTEGER),
+                Column("EmpSID", INTEGER),
+                Column("LastName", CHAR(30), nullable=False),
+                Column("FirstName", CHAR(30)),
+                Column("DeptID", domain.datatype),
+            ],
+            [
+                PrimaryKeyConstraint(["EmpID"]),
+                UniqueConstraint(["EmpSID"]),
+                CheckConstraint(gt(col("EmpID"), 0), name="CHECK EmpID > 0"),
+                CheckConstraint(gt(col("DeptID"), 5), name="CHECK DeptID > 5"),
+                domain.column_check("EmployeeInfo", "DeptID"),
+                ForeignKeyConstraint(["DeptID"], "Dept", ["DeptID"]),
+            ],
+        )
+    )
+    return db

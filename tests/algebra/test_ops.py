@@ -1,0 +1,102 @@
+"""Algebra nodes: labels, fusion, traversal, rendering."""
+
+from repro.algebra.display import render_annotated, render_plan
+from repro.algebra.ops import (
+    AggregateSpec,
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    Product,
+    Project,
+    Relation,
+    Select,
+    fuse_group_apply,
+    walk_plan,
+)
+from repro.expressions.builder import col, count, eq
+
+
+def sample_plan():
+    join = Join(Relation("A", "A"), Relation("B", "B"), eq(col("A.k"), col("B.k")))
+    return Project(
+        Apply(Group(join, ["B.k"]), [AggregateSpec("n", count("A.k"))]),
+        ["B.k", "n"],
+    )
+
+
+class TestLabels:
+    def test_relation(self):
+        assert Relation("T", "X").label() == "T AS X"
+        assert Relation("T", "T").label() == "T"
+        assert Relation("T").label() == "T"
+
+    def test_select(self):
+        assert "σ[" in Select(Relation("T"), eq(col("T.a"), 1)).label()
+
+    def test_project_all_vs_distinct(self):
+        assert Project(Relation("T"), ["a"]).label().startswith("π^A")
+        assert Project(Relation("T"), ["a"], distinct=True).label().startswith("π^D")
+
+    def test_group_and_apply(self):
+        group = Group(Relation("T"), ["a"])
+        assert group.label() == "G[a]"
+        apply_node = Apply(group, [AggregateSpec("n", count("T.a"))])
+        assert "COUNT" in apply_node.label()
+        assert Apply(group, []).label() == "F[]"
+
+    def test_product_and_join(self):
+        assert Product(Relation("A"), Relation("B")).label() == "×"
+        assert "Join" in Join(Relation("A"), Relation("B"), None).label()
+
+
+class TestFusion:
+    def test_apply_group_fuses(self):
+        plan = fuse_group_apply(sample_plan())
+        kinds = [type(node).__name__ for node in walk_plan(plan)]
+        assert "GroupApply" in kinds
+        assert "Apply" not in kinds
+        assert "Group" not in kinds
+
+    def test_bare_group_not_fused(self):
+        plan = fuse_group_apply(Group(Relation("T"), ["a"]))
+        assert isinstance(plan, Group)
+
+    def test_fusion_idempotent(self):
+        once = fuse_group_apply(sample_plan())
+        twice = fuse_group_apply(once)
+        assert once == twice
+
+    def test_fusion_preserves_structure_below(self):
+        plan = fuse_group_apply(sample_plan())
+        fused = plan.child
+        assert isinstance(fused, GroupApply)
+        assert isinstance(fused.child, Join)
+
+    def test_unchanged_plan_returned_as_is(self):
+        leaf = Relation("T")
+        assert fuse_group_apply(leaf) is leaf
+
+
+class TestTraversalAndRendering:
+    def test_walk_preorder(self):
+        nodes = list(walk_plan(sample_plan()))
+        assert isinstance(nodes[0], Project)
+        assert isinstance(nodes[-1], Relation)
+
+    def test_render_plan_indents(self):
+        text = render_plan(sample_plan())
+        lines = text.splitlines()
+        assert lines[0].startswith("π^A")
+        assert lines[-1].strip() in ("A", "B")
+        assert any(line.startswith("  ") for line in lines)
+
+    def test_render_annotated_formats_join_inputs(self):
+        plan = Join(Relation("A"), Relation("B"), None)
+        text = render_annotated(plan, {id(plan): ((10, 5), 50)})
+        assert "[10 x 5 -> 50]" in text
+
+    def test_render_annotated_unary(self):
+        plan = Select(Relation("A"), eq(col("A.k"), 1))
+        text = render_annotated(plan, {id(plan): ((10,), 3)})
+        assert "[10 -> 3]" in text

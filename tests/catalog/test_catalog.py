@@ -1,0 +1,86 @@
+"""Database-level catalog behaviour."""
+
+import pytest
+
+from repro.catalog.catalog import Database
+from repro.catalog.constraints import Assertion, CheckConstraint
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import CatalogError
+from repro.expressions.builder import col, gt, lt
+from repro.sqltypes.datatypes import INTEGER
+
+
+class TestTableLifecycle:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        assert db.has_table("T")
+        assert db.table("T").name == "T"
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        with pytest.raises(CatalogError):
+            db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+
+    def test_drop(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        db.drop_table("T")
+        assert not db.has_table("T")
+        with pytest.raises(CatalogError):
+            db.drop_table("T")
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Database().table("nope")
+
+
+class TestViews:
+    def test_view_registration(self):
+        db = Database()
+        db.create_view("V", object())
+        assert db.view_definition("V") is not None
+        with pytest.raises(CatalogError):
+            db.create_view("V", object())
+
+    def test_view_and_table_share_namespace(self):
+        db = Database()
+        db.create_table(TableSchema("X", [Column("a", INTEGER)]))
+        with pytest.raises(CatalogError):
+            db.create_view("X", object())
+
+    def test_unknown_view(self):
+        with pytest.raises(CatalogError):
+            Database().view_definition("nope")
+
+
+class TestTableCondition:
+    """table_condition supplies the T1/T2 expressions of Theorem 3."""
+
+    def test_includes_checks_requalified(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("a", INTEGER)],
+                [CheckConstraint(gt(col("a"), 0))],
+            )
+        )
+        conditions = db.table_condition("T", alias="X")
+        assert len(conditions) == 1
+        assert "X.a" in str(conditions[0])
+
+    def test_includes_single_table_assertions(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        db.create_assertion(Assertion("small", lt(col("T.a"), 10)))
+        conditions = db.table_condition("T", alias="Y")
+        assert any("Y.a" in str(c) for c in conditions)
+
+    def test_excludes_other_tables_assertions(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        db.create_table(TableSchema("S", [Column("b", INTEGER)]))
+        db.create_assertion(Assertion("s_only", lt(col("S.b"), 10)))
+        assert db.table_condition("T") == ()

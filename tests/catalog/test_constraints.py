@@ -1,0 +1,226 @@
+"""Constraint enforcement: the five SQL2 classes of Section 6.1."""
+
+import pytest
+
+from repro.catalog.catalog import Database
+from repro.catalog.constraints import (
+    Assertion,
+    CheckConstraint,
+    Domain,
+    ForeignKeyConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import CatalogError, ConstraintViolation
+from repro.expressions.builder import and_, col, gt, lt
+from repro.sqltypes.datatypes import INTEGER, SMALLINT, VARCHAR
+from repro.sqltypes.values import NULL
+
+
+class TestColumnConstraints:
+    def test_not_null_via_column_flag(self):
+        db = Database()
+        db.create_table(
+            TableSchema("T", [Column("a", INTEGER, nullable=False)])
+        )
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [NULL])
+
+    def test_check_rejects_false(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("a", INTEGER)],
+                [CheckConstraint(gt(col("a"), 0), name="a_positive")],
+            )
+        )
+        db.insert("T", [5])
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [0])
+
+    def test_check_accepts_unknown(self):
+        """SQL2 CHECK is violated only by FALSE: NULL input passes."""
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("a", INTEGER)],
+                [CheckConstraint(gt(col("a"), 0))],
+            )
+        )
+        db.insert("T", [NULL])
+        assert len(db.table("T")) == 1
+
+
+class TestDomainConstraints:
+    def test_domain_check_rewrites_value(self):
+        """Figure 5's DepIdType: SMALLINT CHECK VALUE > 0 AND VALUE < 100."""
+        domain = Domain(
+            "DepIdType", SMALLINT, and_(gt(col("VALUE"), 0), lt(col("VALUE"), 100))
+        )
+        check = domain.column_check("T", "DeptID")
+        assert check is not None
+        assert "T.DeptID" in str(check.expression)
+        assert "VALUE" not in str(check.expression)
+
+    def test_domain_enforced_on_insert(self):
+        domain = Domain(
+            "DepIdType", SMALLINT, and_(gt(col("VALUE"), 0), lt(col("VALUE"), 100))
+        )
+        db = Database()
+        db.create_domain(domain)
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("DeptID", domain.datatype)],
+                [domain.column_check("T", "DeptID")],
+            )
+        )
+        db.insert("T", [50])
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [100])
+
+    def test_domain_without_check(self):
+        assert Domain("D", INTEGER).column_check("T", "x") is None
+
+    def test_duplicate_domain_rejected(self):
+        db = Database()
+        db.create_domain(Domain("D", INTEGER))
+        with pytest.raises(CatalogError):
+            db.create_domain(Domain("D", INTEGER))
+
+
+class TestKeyConstraints:
+    def test_primary_key_uniqueness(self):
+        db = Database()
+        db.create_table(
+            TableSchema("T", [Column("a", INTEGER)], [PrimaryKeyConstraint(["a"])])
+        )
+        db.insert("T", [1])
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [1])
+
+    def test_primary_key_rejects_null(self):
+        db = Database()
+        db.create_table(
+            TableSchema("T", [Column("a", INTEGER)], [PrimaryKeyConstraint(["a"])])
+        )
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [NULL])
+
+    def test_unique_allows_multiple_nulls(self):
+        """SQL2 UNIQUE uses 'NULL not equal to NULL' (Section 4.2)."""
+        db = Database()
+        db.create_table(
+            TableSchema("T", [Column("a", INTEGER)], [UniqueConstraint(["a"])])
+        )
+        db.insert("T", [NULL])
+        db.insert("T", [NULL])  # no conflict
+        db.insert("T", [7])
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [7])
+
+    def test_composite_unique(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("a", INTEGER), Column("b", INTEGER)],
+                [UniqueConstraint(["a", "b"])],
+            )
+        )
+        db.insert("T", [1, 1])
+        db.insert("T", [1, 2])
+        db.insert("T", [1, NULL])
+        db.insert("T", [1, NULL])  # NULL component: never conflicts
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [1, 2])
+
+
+class TestReferentialIntegrity:
+    def make_db(self):
+        db = Database()
+        db.create_table(
+            TableSchema("P", [Column("id", INTEGER)], [PrimaryKeyConstraint(["id"])])
+        )
+        db.create_table(
+            TableSchema(
+                "C",
+                [Column("id", INTEGER), Column("pid", INTEGER)],
+                [
+                    PrimaryKeyConstraint(["id"]),
+                    ForeignKeyConstraint(["pid"], "P", ["id"]),
+                ],
+            )
+        )
+        return db
+
+    def test_fk_match_required(self):
+        db = self.make_db()
+        db.insert("P", [1])
+        db.insert("C", [10, 1])
+        with pytest.raises(ConstraintViolation):
+            db.insert("C", [11, 2])
+
+    def test_fk_null_allowed(self):
+        db = self.make_db()
+        db.insert("C", [10, NULL])
+        assert len(db.table("C")) == 1
+
+    def test_failed_fk_insert_rolls_back(self):
+        db = self.make_db()
+        with pytest.raises(ConstraintViolation):
+            db.insert("C", [10, 99])
+        assert len(db.table("C")) == 0
+        # The rowid/key bookkeeping must be clean: the same PK works now.
+        db.insert("P", [99])
+        db.insert("C", [10, 99])
+
+    def test_fk_must_reference_candidate_key(self):
+        db = Database()
+        db.create_table(TableSchema("P", [Column("id", INTEGER)]))
+        with pytest.raises(CatalogError):
+            db.create_table(
+                TableSchema(
+                    "C",
+                    [Column("pid", INTEGER)],
+                    [ForeignKeyConstraint(["pid"], "P", ["id"])],
+                )
+            )
+
+    def test_fk_unknown_table(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.create_table(
+                TableSchema(
+                    "C",
+                    [Column("pid", INTEGER)],
+                    [ForeignKeyConstraint(["pid"], "Nope", ["id"])],
+                )
+            )
+
+
+class TestAssertions:
+    def test_single_table_assertion_enforced_on_insert(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        db.create_assertion(Assertion("a_small", lt(col("T.a"), 100)))
+        db.insert("T", [5])
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", [500])
+
+    def test_check_assertions_scan(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        db.insert("T", [5])
+        db.create_assertion(Assertion("a_small", lt(col("T.a"), 100)))
+        assert db.check_assertions() == ()
+
+    def test_multi_table_assertions_reported_unchecked(self):
+        db = Database()
+        db.create_table(TableSchema("T", [Column("a", INTEGER)]))
+        db.create_table(TableSchema("S", [Column("b", INTEGER)]))
+        db.create_assertion(Assertion("cross", lt(col("T.a"), col("S.b"))))
+        assert db.check_assertions() == ("cross",)

@@ -1,0 +1,155 @@
+"""Dump/restore round-trips through our own SQL dialect."""
+
+import pytest
+
+from repro.catalog.dump import dump_database, load_database, render_select
+from repro.errors import CatalogError, ConstraintViolation
+from repro.parser.parser import parse_statement
+from repro.session import Session
+from repro.workloads.generators import (
+    populate_printer_accounting,
+    populate_retail,
+)
+from repro.workloads.schemas import (
+    make_figure5_schema,
+    make_printer_schema,
+    make_retail_star,
+)
+
+
+def table_contents(db, name):
+    return sorted(
+        (tuple(str(v) for v in row.values) for row in db.table(name)),
+    )
+
+
+class TestRoundTrip:
+    def test_printer_schema_roundtrip(self):
+        db = make_printer_schema()
+        populate_printer_accounting(db, n_users=20, n_printers=5, seed=1)
+        restored = load_database(dump_database(db))
+        assert set(restored.tables) == set(db.tables)
+        for name in db.tables:
+            assert table_contents(restored, name) == table_contents(db, name)
+
+    def test_retail_star_fk_order(self):
+        """Sales references three dimensions: the dump must order DDL and
+        inserts so the restore never trips a foreign key."""
+        db = make_retail_star()
+        populate_retail(db, n_sales=50, n_customers=10, n_products=5, n_stores=3)
+        restored = load_database(dump_database(db))
+        assert len(restored.table("Sales")) == 50
+
+    def test_figure5_constraints_survive(self):
+        """Domains, CHECKs, UNIQUE, PK and FK all restore and re-enforce."""
+        db = make_figure5_schema()
+        db.insert("Dept", [7, "Eng"])
+        db.insert("EmployeeInfo", [1, 100, "Smith", "Al", 7])
+        restored = load_database(dump_database(db))
+        assert "DepIdType" in restored.domains
+        with pytest.raises(ConstraintViolation):
+            restored.insert("EmployeeInfo", [2, 101, "X", "Y", 150])  # domain
+        with pytest.raises(ConstraintViolation):
+            restored.insert("EmployeeInfo", [1, 102, "X", "Y", 7])  # PK dup
+
+    def test_views_survive(self):
+        db = make_printer_schema()
+        populate_printer_accounting(db, n_users=10, n_printers=3, seed=2)
+        session = Session(db)
+        session.execute(
+            "CREATE VIEW UserInfo (UserId, Machine, TotUsage) AS "
+            "SELECT A.UserId, A.Machine, SUM(A.Usage) FROM PrinterAuth A "
+            "GROUP BY A.UserId, A.Machine"
+        )
+        restored = load_database(dump_database(db))
+        assert "UserInfo" in restored.views
+        # And the view still answers queries after the restore.
+        restored_session = Session(restored)
+        result = restored_session.query(
+            "SELECT U.UserId, U.UserName, I.TotUsage "
+            "FROM UserInfo I, UserAccount U "
+            "WHERE I.UserId = U.UserId AND I.Machine = U.Machine"
+        )
+        original = session.query(
+            "SELECT U.UserId, U.UserName, I.TotUsage "
+            "FROM UserInfo I, UserAccount U "
+            "WHERE I.UserId = U.UserId AND I.Machine = U.Machine"
+        )
+        assert result.equals_multiset(original)
+
+    def test_assertions_survive(self):
+        session = Session()
+        session.execute("CREATE TABLE T (a INTEGER)")
+        session.execute("CREATE ASSERTION small CHECK (T.a < 100)")
+        session.execute("INSERT INTO T VALUES (5)")
+        restored = load_database(dump_database(session.database))
+        with pytest.raises(ConstraintViolation):
+            restored.insert("T", [500])
+
+    def test_null_and_string_values(self):
+        session = Session()
+        session.execute("CREATE TABLE T (a INTEGER, s VARCHAR(20))")
+        session.execute("INSERT INTO T VALUES (NULL, 'it''s'), (1, NULL)")
+        restored = load_database(dump_database(session.database))
+        rows = [row.values for row in restored.table("T")]
+        from repro.sqltypes.values import NULL
+
+        assert (1, NULL) in rows
+        texts = [row[1] for row in rows if row[1] is not NULL]
+        assert texts == ["it's"]
+
+    def test_double_dump_stable(self):
+        """dump(load(dump(db))) == dump(db) — a fixpoint after one trip."""
+        db = make_printer_schema()
+        populate_printer_accounting(db, n_users=5, n_printers=2, seed=3)
+        first = dump_database(db)
+        second = dump_database(load_database(first))
+        assert first == second
+
+    def test_cyclic_fks_reported(self):
+        from repro.catalog import Column, Database, ForeignKeyConstraint
+        from repro.catalog import PrimaryKeyConstraint, TableSchema
+        from repro.sqltypes import INTEGER
+
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "A",
+                [Column("id", INTEGER), Column("b", INTEGER)],
+                [PrimaryKeyConstraint(["id"])],
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "B",
+                [Column("id", INTEGER), Column("a", INTEGER)],
+                [
+                    PrimaryKeyConstraint(["id"]),
+                    ForeignKeyConstraint(["a"], "A", ["id"]),
+                ],
+            )
+        )
+        # Close the cycle by hand (the catalog validates at creation time,
+        # so we patch the schema object directly for this test).
+        from repro.catalog.constraints import ForeignKeyConstraint as FK
+
+        schema = db.table("A").schema
+        schema.constraints = schema.constraints + (FK(["b"], "B", ["id"]),)
+        with pytest.raises(CatalogError):
+            dump_database(db)
+
+
+class TestRenderSelect:
+    def test_full_clause_rendering(self):
+        statement = parse_statement(
+            "SELECT DISTINCT A.x, COUNT(A.y) AS n FROM T A "
+            "WHERE A.x > 1 GROUP BY A.x HAVING COUNT(A.y) > 2 "
+            "ORDER BY A.x DESC"
+        )
+        text = render_select(statement)
+        assert text.startswith("SELECT DISTINCT")
+        for fragment in ("FROM T A", "WHERE", "GROUP BY A.x", "HAVING", "ORDER BY A.x DESC"):
+            assert fragment in text
+        # Round-trip: the rendering parses back.
+        reparsed = parse_statement(text)
+        assert render_select(reparsed) == text

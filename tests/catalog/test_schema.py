@@ -1,0 +1,84 @@
+"""Table schema behaviour: lookups, key surfacing, PK nullability."""
+
+import pytest
+
+from repro.catalog.constraints import PrimaryKeyConstraint, UniqueConstraint
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import CatalogError
+from repro.sqltypes.datatypes import INTEGER, VARCHAR
+
+
+def make_schema():
+    return TableSchema(
+        "T",
+        [
+            Column("a", INTEGER),
+            Column("b", VARCHAR(10)),
+            Column("c", INTEGER),
+        ],
+        [PrimaryKeyConstraint(["a"]), UniqueConstraint(["b"])],
+    )
+
+
+class TestSchemaBasics:
+    def test_column_names_and_arity(self):
+        schema = make_schema()
+        assert schema.column_names() == ("a", "b", "c")
+        assert schema.arity == 3
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("b") == 1
+        with pytest.raises(CatalogError):
+            schema.index_of("z")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("T", [Column("a", INTEGER), Column("a", INTEGER)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("T", [])
+
+    def test_rename_preserves_columns_and_constraints(self):
+        schema = make_schema().rename("S")
+        assert schema.name == "S"
+        assert schema.column_names() == ("a", "b", "c")
+        assert schema.primary_key() == ("a",)
+
+
+class TestKeys:
+    def test_primary_key(self):
+        assert make_schema().primary_key() == ("a",)
+
+    def test_candidate_keys_include_pk_and_unique(self):
+        assert make_schema().candidate_keys() == (("a",), ("b",))
+
+    def test_no_keys(self):
+        schema = TableSchema("T", [Column("a", INTEGER)])
+        assert schema.primary_key() is None
+        assert schema.candidate_keys() == ()
+
+    def test_pk_columns_become_not_null(self):
+        """SQL2: defining a key implies its columns cannot be NULL."""
+        schema = make_schema()
+        assert not schema.column("a").nullable
+        assert schema.column("b").nullable  # UNIQUE does not imply NOT NULL
+        assert schema.not_null_columns() == ("a",)
+
+    def test_pk_over_unknown_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(
+                "T", [Column("a", INTEGER)], [PrimaryKeyConstraint(["nope"])]
+            )
+
+    def test_composite_primary_key(self):
+        schema = TableSchema(
+            "T",
+            [Column("a", INTEGER), Column("b", INTEGER), Column("c", INTEGER)],
+            [PrimaryKeyConstraint(["a", "b"])],
+        )
+        assert schema.primary_key() == ("a", "b")
+        assert not schema.column("a").nullable
+        assert not schema.column("b").nullable
+        assert schema.column("c").nullable

@@ -1,0 +1,141 @@
+"""Dayal's pipelining condition (§2) and the pipelined E1 plan."""
+
+import pytest
+
+from repro.algebra.notation import to_paper_notation
+from repro.catalog import (
+    Column,
+    Database,
+    PrimaryKeyConstraint,
+    TableSchema,
+    UniqueConstraint,
+)
+from repro.core.pipelining import dayal_condition, pipelined_standard_plan
+from repro.core.transform import build_standard_plan
+from repro.engine.executor import ExecutorConfig, execute
+from repro.sqltypes import INTEGER, VARCHAR
+
+PIPELINE_CONFIG = ExecutorConfig(
+    join_algorithm="sort_merge", aggregation="sort", exploit_orders=True
+)
+
+
+class TestDayalCondition:
+    def test_example1_satisfies(self, example1_db, example1_query):
+        """GROUP BY D.DeptID, D.Name ⊇ the key of Department."""
+        assert dayal_condition(example1_db, example1_query)
+
+    def test_fails_without_key_in_grouping(self, example1_db, example1_query):
+        from repro.core.query_class import GroupByJoinQuery
+
+        query = GroupByJoinQuery(
+            example1_query.r1, example1_query.r2, example1_query.where,
+            (), ("D.Name",), example1_query.aggregates,
+        )
+        assert not dayal_condition(example1_db, query)
+
+    def test_fails_with_ga1(self, example1_db, example1_query):
+        from repro.core.query_class import GroupByJoinQuery
+
+        query = GroupByJoinQuery(
+            example1_query.r1, example1_query.r2, example1_query.where,
+            ("E.DeptID",), ("D.DeptID",), example1_query.aggregates,
+        )
+        assert not dayal_condition(example1_db, query)
+
+    def test_fails_on_multi_table_r2(self, printer_db, example3_query):
+        # Example 3's R2 is a single table, but its grouping columns do not
+        # contain the (UserId, Machine) key — UserName is no substitute.
+        assert not dayal_condition(printer_db, example3_query)
+
+    def test_nullable_unique_key_rejected(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "B",
+                [Column("k", INTEGER), Column("name", VARCHAR(5))],
+                [UniqueConstraint(["k"])],  # nullable
+            )
+        )
+        db.create_table(
+            TableSchema("A", [Column("k", INTEGER), Column("v", INTEGER)])
+        )
+        from repro.algebra.ops import AggregateSpec
+        from repro.core.query_class import GroupByJoinQuery
+        from repro.expressions.builder import col, eq, sum_
+        from repro.fd.derivation import TableBinding
+
+        query = GroupByJoinQuery(
+            r1=[TableBinding("A", "A")],
+            r2=[TableBinding("B", "B")],
+            where=eq(col("A.k"), col("B.k")),
+            ga1=(), ga2=("B.k", "B.name"),
+            aggregates=[AggregateSpec("s", sum_("A.v"))],
+        )
+        assert not dayal_condition(db, query)
+        assert pipelined_standard_plan(db, query) is None
+
+
+class TestPipelinedPlan:
+    def test_results_match_standard_plan(self, example1_db, example1_query):
+        pipelined = pipelined_standard_plan(example1_db, example1_query)
+        assert pipelined is not None
+        fast, __ = execute(example1_db, pipelined, PIPELINE_CONFIG)
+        reference, __ = execute(example1_db, build_standard_plan(example1_query))
+        assert fast.equals_multiset(reference)
+
+    def test_grouping_is_pipelined(self, example1_db, example1_query):
+        """With orders exploited, the group-by pays only the scan."""
+        pipelined = pipelined_standard_plan(example1_db, example1_query)
+        __, stats = execute(example1_db, pipelined, PIPELINE_CONFIG)
+        (group_stats,) = stats.by_kind("groupby")
+        rows_in = group_stats.input_cardinalities[0]
+        rows_out = group_stats.output_cardinality
+        assert group_stats.work == rows_in + rows_out  # no sort term
+
+    def test_without_order_exploitation_pays_sort(self, example1_db, example1_query):
+        pipelined = pipelined_standard_plan(example1_db, example1_query)
+        config = ExecutorConfig(join_algorithm="sort_merge", aggregation="sort")
+        __, stats = execute(example1_db, pipelined, config)
+        (group_stats,) = stats.by_kind("groupby")
+        rows_in = group_stats.input_cardinalities[0]
+        assert group_stats.work > rows_in + group_stats.output_cardinality
+
+    def test_carried_columns_recovered(self, example1_db, example1_query):
+        """D.Name rides along as MIN(D.Name) and lands in the output."""
+        pipelined = pipelined_standard_plan(example1_db, example1_query)
+        result, __ = execute(example1_db, pipelined, PIPELINE_CONFIG)
+        names = {row[1] for row in result.rows}
+        assert all(isinstance(name, str) for name in names)
+        assert len(names) == result.cardinality  # one department name each
+
+
+class TestPaperNotation:
+    def test_standard_plan_notation(self, example1_query):
+        text = to_paper_notation(build_standard_plan(example1_query))
+        assert text.startswith("π^A[")
+        assert "F[COUNT(E.EmpID)]" in text
+        assert "G[D.DeptID, D.Name]" in text
+        assert "×" in text
+
+    def test_eager_plan_notation(self, example1_query):
+        from repro.core.transform import build_eager_plan
+
+        text = to_paper_notation(build_eager_plan(example1_query))
+        # The F G block sits inside (left of) the join, as in E2.
+        assert text.index("F[") > text.index("σ[")
+        assert "G[E.DeptID]" in text
+
+    def test_fused_node_notation(self):
+        from repro.algebra.ops import AggregateSpec, GroupApply, Relation
+        from repro.expressions.builder import count_star
+
+        node = GroupApply(Relation("T"), ("T.g",), (AggregateSpec("n", count_star()),))
+        assert to_paper_notation(node) == "F[COUNT(*)] G[T.g] T"
+
+    def test_distinct_projection_notation(self):
+        from repro.algebra.ops import Project, Relation
+
+        assert to_paper_notation(
+            Project(Relation("T"), ("T.a",), distinct=True)
+        ).startswith("π^D[")

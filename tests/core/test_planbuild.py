@@ -1,0 +1,111 @@
+"""Join-tree construction: predicate placement and connectivity order."""
+
+import pytest
+
+from repro.algebra.ops import Join, Relation, Select, walk_plan
+from repro.catalog import Column, Database, PrimaryKeyConstraint, TableSchema
+from repro.core.planbuild import build_join_tree
+from repro.engine.executor import execute
+from repro.expressions.builder import and_, col, eq, host, lit
+from repro.fd.derivation import TableBinding
+from repro.sqltypes import INTEGER
+
+
+def three_table_db():
+    db = Database()
+    for name in ("A", "B", "C"):
+        db.create_table(
+            TableSchema(
+                name,
+                [Column("id", INTEGER), Column("ref", INTEGER), Column("v", INTEGER)],
+                [PrimaryKeyConstraint(["id"])],
+            )
+        )
+    for i in range(1, 4):
+        db.insert("A", [i, i, i * 10])
+        db.insert("B", [i, i, i * 100])
+        db.insert("C", [i, i, i * 1000])
+    return db
+
+
+class TestStructure:
+    def test_single_table(self):
+        tree = build_join_tree([TableBinding("A", "A")], None)
+        assert isinstance(tree, Relation)
+
+    def test_single_table_with_filter(self):
+        tree = build_join_tree([TableBinding("A", "A")], eq(col("A.v"), lit(1)))
+        assert isinstance(tree, Select)
+
+    def test_two_tables_join_condition_placed(self):
+        tree = build_join_tree(
+            [TableBinding("A", "A"), TableBinding("B", "B")],
+            eq(col("A.id"), col("B.ref")),
+        )
+        assert isinstance(tree, Join)
+        assert tree.condition is not None
+
+    def test_single_table_conjunct_pushed_to_leaf(self):
+        tree = build_join_tree(
+            [TableBinding("A", "A"), TableBinding("B", "B")],
+            and_(eq(col("A.id"), col("B.ref")), eq(col("A.v"), lit(10))),
+        )
+        selects = [n for n in walk_plan(tree) if isinstance(n, Select)]
+        assert any("A.v" in str(s.condition) for s in selects)
+
+    def test_constant_conjunct_floats_to_top(self):
+        tree = build_join_tree(
+            [TableBinding("A", "A"), TableBinding("B", "B")],
+            and_(eq(col("A.id"), col("B.ref")), eq(lit(1), lit(1))),
+        )
+        assert isinstance(tree, Select)  # the floating conjunct caps the tree
+
+    def test_connectivity_preferred_over_given_order(self):
+        """With tables listed A, C, B but predicates chaining A-B-C, the
+        builder should join B before C to avoid a Cartesian product."""
+        tree = build_join_tree(
+            [TableBinding("A", "A"), TableBinding("C", "C"), TableBinding("B", "B")],
+            and_(eq(col("A.id"), col("B.ref")), eq(col("B.id"), col("C.ref"))),
+        )
+        joins = [n for n in walk_plan(tree) if isinstance(n, Join)]
+        assert all(join.condition is not None for join in joins)
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            build_join_tree([], None)
+
+
+class TestSemantics:
+    def test_result_matches_flat_filtering(self):
+        """Any placement must equal filter-the-product semantics."""
+        db = three_table_db()
+        where = and_(
+            eq(col("A.id"), col("B.ref")),
+            eq(col("B.id"), col("C.ref")),
+            eq(col("A.v"), lit(10)),
+        )
+        bindings = [TableBinding("A", "A"), TableBinding("B", "B"), TableBinding("C", "C")]
+        tree = build_join_tree(bindings, where)
+        result, __ = execute(db, tree)
+
+        from repro.algebra.ops import Product, Select as SelectOp
+
+        flat = SelectOp(
+            Product(
+                Product(Relation("A", "A"), Relation("B", "B")),
+                Relation("C", "C"),
+            ),
+            where,
+        )
+        expected, __ = execute(db, flat)
+        assert result.equals_multiset(expected)
+
+    def test_host_variable_conjunct(self):
+        db = three_table_db()
+        tree = build_join_tree(
+            [TableBinding("A", "A")], eq(col("A.v"), host("wanted"))
+        )
+        from repro.engine.executor import Executor
+
+        result, __ = Executor(db, params={"wanted": 20}).run(tree)
+        assert result.cardinality == 1

@@ -1,0 +1,123 @@
+"""The Section 3 query class: derived quantities and well-formedness."""
+
+import pytest
+
+from repro.algebra.ops import AggregateSpec
+from repro.core.query_class import GroupByJoinQuery
+from repro.errors import TransformationError
+from repro.expressions.builder import and_, col, count, eq, lit, sum_
+from repro.fd.derivation import TableBinding
+
+
+def simple_query(**overrides):
+    defaults = dict(
+        r1=[TableBinding("E", "Employee")],
+        r2=[TableBinding("D", "Department")],
+        where=eq(col("E.DeptID"), col("D.DeptID")),
+        ga1=[],
+        ga2=["D.DeptID", "D.Name"],
+        aggregates=[AggregateSpec("cnt", count("E.EmpID"))],
+    )
+    defaults.update(overrides)
+    return GroupByJoinQuery(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_ga1_plus_includes_c0_columns(self):
+        """Example 1: GA1 is empty, but E.DeptID joins, so GA1+ = {E.DeptID}."""
+        query = simple_query()
+        assert query.ga1_plus == ("E.DeptID",)
+
+    def test_ga2_plus(self):
+        query = simple_query()
+        assert set(query.ga2_plus) == {"D.DeptID", "D.Name"}
+
+    def test_ga_ordering_stable(self):
+        query = simple_query(ga1=["E.DeptID"])
+        assert query.ga1_plus == ("E.DeptID",)  # no duplicate appended
+
+    def test_c0_columns(self):
+        query = simple_query()
+        assert query.c0_columns() == frozenset({"E.DeptID", "D.DeptID"})
+
+    def test_split(self):
+        query = simple_query(
+            where=and_(
+                eq(col("E.DeptID"), col("D.DeptID")),
+                eq(col("E.LastName"), lit("Smith")),
+                eq(col("D.Name"), lit("Sales")),
+            )
+        )
+        split = query.split()
+        assert "E.LastName" in str(split.c1)
+        assert "D.DeptID" in str(split.c0)
+        assert "D.Name" in str(split.c2)
+
+    def test_select_columns_order(self):
+        query = simple_query()
+        assert query.select_columns == ("D.DeptID", "D.Name", "cnt")
+
+    def test_grouping_columns(self):
+        assert simple_query().grouping_columns == ("D.DeptID", "D.Name")
+
+    def test_describe_mentions_notation(self):
+        text = simple_query().describe()
+        for marker in ("R1:", "R2:", "C0:", "GA1+", "GA2+", "F(AA)"):
+            assert marker in text
+
+
+class TestWellFormedness:
+    def test_sga_defaults_to_ga(self):
+        query = simple_query()
+        assert query.sga2 == query.ga2
+
+    def test_sga_subset_enforced(self):
+        with pytest.raises(TransformationError):
+            simple_query(sga2=["D.Nonexistent"])
+
+    def test_sga_proper_subset_allowed(self):
+        query = simple_query(sga2=["D.DeptID"])
+        assert query.select_columns == ("D.DeptID", "cnt")
+
+    def test_empty_r1_rejected(self):
+        with pytest.raises(TransformationError):
+            simple_query(r1=[])
+
+    def test_both_ga_empty_rejected(self):
+        """GA1 and GA2 cannot both be empty (Section 3)."""
+        with pytest.raises(TransformationError):
+            simple_query(ga1=[], ga2=[])
+
+    def test_overlapping_aliases_rejected(self):
+        with pytest.raises(TransformationError):
+            simple_query(r2=[TableBinding("E", "Department")])
+
+    def test_ga1_must_be_in_r1(self):
+        with pytest.raises(TransformationError):
+            simple_query(ga1=["D.DeptID"])
+
+    def test_ga2_must_be_in_r2(self):
+        with pytest.raises(TransformationError):
+            simple_query(ga2=["E.DeptID"])
+
+    def test_aggregation_columns_must_be_in_r1(self):
+        with pytest.raises(TransformationError):
+            simple_query(aggregates=[AggregateSpec("s", sum_("D.DeptID"))])
+
+    def test_count_star_allowed(self):
+        from repro.expressions.builder import count_star
+
+        query = simple_query(aggregates=[AggregateSpec("n", count_star())])
+        assert query.aggregate_names() == ("n",)
+
+    def test_unqualified_grouping_column_rejected(self):
+        with pytest.raises(TransformationError):
+            simple_query(ga2=["DeptID", "D.Name"])
+
+    def test_validate_against_database(self, example1_db, example1_query):
+        example1_query.validate(example1_db)  # should not raise
+
+    def test_validate_catches_bad_column(self, example1_db):
+        query = simple_query(ga2=["D.DeptID", "D.Bogus"])
+        with pytest.raises(TransformationError):
+            query.validate(example1_db)

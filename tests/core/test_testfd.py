@@ -1,0 +1,249 @@
+"""TestFD (Section 6.3): positive and negative cases, trace fidelity."""
+
+import pytest
+
+from repro.algebra.ops import AggregateSpec
+from repro.catalog import (
+    Column,
+    Database,
+    PrimaryKeyConstraint,
+    TableSchema,
+    UniqueConstraint,
+)
+from repro.core.query_class import GroupByJoinQuery
+from repro.core.testfd import test_fd
+from repro.expressions.builder import and_, col, count, eq, gt, lit, or_, sum_
+from repro.fd.derivation import TableBinding
+from repro.sqltypes import INTEGER, VARCHAR
+from repro.workloads.schemas import make_employee_department, make_printer_schema
+
+
+def two_table_db(b_has_key: bool = True):
+    db = Database()
+    constraints = [PrimaryKeyConstraint(["k"])] if b_has_key else []
+    db.create_table(
+        TableSchema("B", [Column("k", INTEGER), Column("name", VARCHAR(10))], constraints)
+    )
+    db.create_table(
+        TableSchema(
+            "A",
+            [Column("id", INTEGER), Column("k", INTEGER), Column("v", INTEGER)],
+            [PrimaryKeyConstraint(["id"])],
+        )
+    )
+    return db
+
+
+def two_table_query(**overrides):
+    defaults = dict(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=eq(col("A.k"), col("B.k")),
+        ga1=[],
+        ga2=["B.k", "B.name"],
+        aggregates=[AggregateSpec("s", sum_("A.v"))],
+    )
+    defaults.update(overrides)
+    return GroupByJoinQuery(**defaults)
+
+
+class TestPaperExamples:
+    def test_example1_yes(self, example1_db, example1_query):
+        result = test_fd(example1_db, example1_query)
+        assert result.decision
+        assert result.components
+
+    def test_example3_yes(self, printer_db, example3_query):
+        result = test_fd(printer_db, example3_query)
+        assert result.decision
+
+    def test_example3_trace_matches_paper(self, printer_db, example3_query):
+        """The closure of Example 3's Step 4 is exactly the paper's set:
+        {A.UserId, A.Machine, U.UserName, U.Machine, U.UserId} plus the
+        second phase's GA1+ check."""
+        result = test_fd(printer_db, example3_query)
+        (trace,) = result.components
+        assert trace.seed == frozenset({"U.UserId", "U.UserName"})
+        # Step b: U.Machine joins via the 'dragon' constant.
+        assert "U.Machine" in trace.after_constants
+        assert {
+            "A.UserId", "A.Machine", "U.UserName", "U.Machine", "U.UserId",
+        } <= set(trace.closure)
+        assert trace.r2_keys_found
+        assert trace.ga1_plus_covered
+
+
+class TestNegativeCases:
+    def test_no_without_r2_key(self):
+        """Without a key on B, FD2 cannot be established."""
+        db = two_table_db(b_has_key=False)
+        result = test_fd(db, two_table_query())
+        assert not result.decision
+        assert "FD2" in result.reason
+
+    def test_no_when_grouping_misses_key(self):
+        """Group by B.name only: nothing pins B's key."""
+        db = two_table_db()
+        result = test_fd(db, two_table_query(ga2=["B.name"]))
+        assert not result.decision
+
+    def test_yes_when_grouping_covers_key(self):
+        db = two_table_db()
+        result = test_fd(db, two_table_query())
+        assert result.decision
+
+    def test_having_rejected(self):
+        db = two_table_db()
+        query = two_table_query(having=gt(col("B.k"), 0))
+        result = test_fd(db, query)
+        assert not result.decision
+        assert "HAVING" in result.reason
+
+    def test_non_equality_join_rejected(self):
+        """C0 = A.k < B.k provides no FD; TestFD must say NO."""
+        from repro.expressions.builder import lt
+
+        db = two_table_db()
+        result = test_fd(db, two_table_query(where=lt(col("A.k"), col("B.k"))))
+        assert not result.decision
+
+
+class TestDisjunctions:
+    def test_or_of_equalities_tests_each_component(self):
+        """(A.k = B.k) OR (A.v = B.k): each DNF component must pass; the
+        second lacks A.k so FD1 fails there."""
+        db = two_table_db()
+        query = two_table_query(
+            where=or_(eq(col("A.k"), col("B.k")), eq(col("A.v"), col("B.k"))),
+        )
+        # GA1+ is all C0 columns on A's side: both A.k and A.v.
+        result = test_fd(db, query)
+        assert not result.decision
+        assert len(result.components) >= 1
+
+    def test_or_where_both_components_pass(self):
+        """(A.k = B.k AND A.v = 1) OR (A.k = B.k AND A.v = 2): both
+        components carry the join equality, so TestFD can say YES."""
+        db = two_table_db()
+        where = or_(
+            and_(eq(col("A.k"), col("B.k")), eq(col("A.v"), lit(1))),
+            and_(eq(col("A.k"), col("B.k")), eq(col("A.v"), lit(2))),
+        )
+        query = two_table_query(where=where)
+        result = test_fd(db, query)
+        assert result.decision
+
+    def test_clause_with_non_equality_atom_dropped(self):
+        """A disjunct containing a non-equality atom invalidates its whole
+        CNF clause (Step 2), but remaining clauses can still carry the day."""
+        db = two_table_db()
+        where = and_(
+            eq(col("A.k"), col("B.k")),
+            or_(gt(col("A.v"), 0), eq(col("A.v"), lit(1))),  # dropped clause
+        )
+        result = test_fd(db, two_table_query(where=where))
+        assert result.decision
+
+
+class TestConstantPinsKey:
+    def test_c2_constant_on_key_enables_empty_ga2(self):
+        """GA2 may even be empty when C2 pins B's key to a constant
+        (the degenerate Case 1 of the Main Theorem)."""
+        db = two_table_db()
+        query = GroupByJoinQuery(
+            r1=[TableBinding("A", "A")],
+            r2=[TableBinding("B", "B")],
+            where=and_(eq(col("A.k"), col("B.k")), eq(col("B.k"), lit(7))),
+            ga1=["A.id"],
+            ga2=[],
+            aggregates=[AggregateSpec("s", sum_("A.v"))],
+        )
+        result = test_fd(db, query)
+        assert result.decision
+
+
+class TestPaperStrictMode:
+    def test_empty_condition_paper_strict_says_no(self):
+        """No usable equalities at all: the paper's Step 3 returns NO."""
+        db = two_table_db()
+        # Cartesian product, group by B's key: FD2 genuinely holds via the
+        # key alone, but paper-strict refuses to look.
+        query = GroupByJoinQuery(
+            r1=[TableBinding("A", "A")],
+            r2=[TableBinding("B", "B")],
+            where=None,
+            ga1=["A.id"],
+            ga2=["B.k"],
+            aggregates=[AggregateSpec("s", sum_("A.v"))],
+        )
+        strict = test_fd(db, query, paper_strict=True)
+        assert not strict.decision
+        improved = test_fd(db, query)
+        assert improved.decision  # our key-only refinement
+
+    def test_unique_keys_flag(self):
+        """A nullable UNIQUE key counts only under assume_unique_keys."""
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "B",
+                [Column("k", INTEGER), Column("name", VARCHAR(10))],
+                [UniqueConstraint(["k"])],  # k is nullable!
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "A",
+                [Column("id", INTEGER), Column("k", INTEGER), Column("v", INTEGER)],
+                [PrimaryKeyConstraint(["id"])],
+            )
+        )
+        query = two_table_query()
+        assert not test_fd(db, query).decision
+        assert test_fd(db, query, assume_unique_keys=True).decision
+
+
+class TestStructuralRefusals:
+    def test_no_r2_group(self):
+        db = two_table_db()
+        query = GroupByJoinQuery(
+            r1=[TableBinding("A", "A"), TableBinding("B", "B")],
+            r2=[],
+            where=eq(col("A.k"), col("B.k")),
+            ga1=["A.id"],
+            ga2=[],
+            aggregates=[AggregateSpec("s", sum_("A.v"))],
+        )
+        result = test_fd(db, query)
+        assert not result.decision
+        assert "R2" in result.reason
+
+
+class TestCheckConstraintsFeedTestFD:
+    def test_check_equality_contributes(self):
+        """A CHECK (status = 1) on B is part of T2 and can pin columns."""
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "B",
+                [Column("k", INTEGER), Column("status", INTEGER)],
+                [PrimaryKeyConstraint(["k"])],
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "A",
+                [Column("id", INTEGER), Column("k", INTEGER), Column("v", INTEGER)],
+                [PrimaryKeyConstraint(["id"])],
+            )
+        )
+        query = GroupByJoinQuery(
+            r1=[TableBinding("A", "A")],
+            r2=[TableBinding("B", "B")],
+            where=eq(col("A.k"), col("B.k")),
+            ga1=[],
+            ga2=["B.k", "B.status"],
+            aggregates=[AggregateSpec("s", sum_("A.v"))],
+        )
+        result = test_fd(db, query)
+        assert result.decision

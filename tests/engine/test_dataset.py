@@ -1,0 +1,91 @@
+"""DataSet: column resolution, projection, and =ⁿ multiset equality."""
+
+import pytest
+
+from repro.engine.dataset import DataSet
+from repro.errors import BindingError
+from repro.sqltypes.values import NULL
+
+
+def make_dataset():
+    return DataSet(
+        ("T.a", "T.b"),
+        [(1, "x"), (2, "y"), (NULL, "z")],
+    )
+
+
+class TestColumns:
+    def test_index_of_qualified(self):
+        assert make_dataset().index_of("T.b") == 1
+
+    def test_index_of_bare(self):
+        assert make_dataset().index_of("b") == 1
+
+    def test_index_of_missing(self):
+        with pytest.raises(BindingError):
+            make_dataset().index_of("zz")
+
+    def test_index_of_ambiguous_bare(self):
+        ds = DataSet(("T.a", "S.a"), [])
+        with pytest.raises(BindingError):
+            ds.index_of("a")
+
+    def test_project(self):
+        projected = make_dataset().project(["T.b"])
+        assert projected.columns == ("T.b",)
+        assert projected.rows == [("x",), ("y",), ("z",)]
+
+    def test_rename(self):
+        renamed = make_dataset().rename({"T.a": "X.a"})
+        assert renamed.columns == ("X.a", "T.b")
+        assert renamed.rows == make_dataset().rows
+
+
+class TestMultisetEquality:
+    def test_order_insensitive(self):
+        left = DataSet(("a",), [(1,), (2,)])
+        right = DataSet(("a",), [(2,), (1,)])
+        assert left.equals_multiset(right)
+
+    def test_duplicate_counts_matter(self):
+        left = DataSet(("a",), [(1,), (1,)])
+        right = DataSet(("a",), [(1,)])
+        assert not left.equals_multiset(right)
+
+    def test_null_equals_null(self):
+        """=ⁿ duplicate semantics: NULL rows match NULL rows."""
+        left = DataSet(("a",), [(NULL,)])
+        right = DataSet(("a",), [(NULL,)])
+        assert left.equals_multiset(right)
+
+    def test_null_not_value(self):
+        left = DataSet(("a",), [(NULL,)])
+        right = DataSet(("a",), [(0,)])
+        assert not left.equals_multiset(right)
+
+    def test_column_names_ignored(self):
+        """E1 and E2 may label aggregate outputs differently."""
+        left = DataSet(("x",), [(1,)])
+        right = DataSet(("y",), [(1,)])
+        assert left.equals_multiset(right)
+
+    def test_arity_matters(self):
+        left = DataSet(("a", "b"), [(1, 2)])
+        right = DataSet(("a",), [(1,)])
+        assert not left.equals_multiset(right)
+
+
+class TestDisplay:
+    def test_sorted_rows_nulls_first(self):
+        ordered = make_dataset().sorted_rows()
+        assert ordered[0][0] is NULL
+
+    def test_pretty_contains_header_and_null(self):
+        text = make_dataset().to_pretty()
+        assert "T.a" in text
+        assert "NULL" in text
+
+    def test_pretty_truncation(self):
+        ds = DataSet(("a",), [(i,) for i in range(30)])
+        text = ds.to_pretty(limit=5)
+        assert "more rows" in text

@@ -1,0 +1,172 @@
+"""Interesting-order exploitation: pipelined aggregation and sort reuse.
+
+The §2 observation (aggregation can be computed while grouping, and a
+sort-merge join's output is already grouped) and the §7 remark (the
+grouped result is sorted on the grouping columns, which later operators
+can exploit) realized as physical-property propagation.
+"""
+
+import pytest
+
+from repro.algebra.ops import (
+    AggregateSpec,
+    Apply,
+    Group,
+    Join,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog import Column, Database, PrimaryKeyConstraint, TableSchema
+from repro.engine.dataset import DataSet
+from repro.engine.executor import Executor, ExecutorConfig, execute
+from repro.engine.sorting import is_sorted_on, sort_dataset
+from repro.expressions.builder import col, count, eq, gt, sum_
+from repro.sqltypes import INTEGER, VARCHAR
+from repro.sqltypes.values import NULL
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "T",
+            [Column("id", INTEGER), Column("g", INTEGER), Column("v", INTEGER)],
+            [PrimaryKeyConstraint(["id"])],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "S",
+            [Column("g", INTEGER), Column("name", VARCHAR(10))],
+            [PrimaryKeyConstraint(["g"])],
+        )
+    )
+    for i in range(1, 13):
+        database.insert("T", [i, (i % 4) + 1, i * 10])
+    for g in range(1, 5):
+        database.insert("S", [g, f"g{g}"])
+    return database
+
+
+class TestOrderingProperty:
+    def test_sort_sets_ordering(self):
+        ds = DataSet(("a", "b"), [(3, 1), (1, 2), (2, 3)])
+        ordered, __ = sort_dataset(ds, ["a"])
+        assert ordered.ordering == ("a",)
+        assert is_sorted_on(ordered, ["a"])
+
+    def test_descending_sort_clears_ordering(self):
+        ds = DataSet(("a",), [(3,), (1,)])
+        ordered, __ = sort_dataset(ds, ["a"], [True])
+        assert ordered.ordering == ()
+
+    def test_is_sorted_on_prefix_set(self):
+        ds = DataSet(("a", "b", "c"), [], ordering=("a", "b"))
+        assert is_sorted_on(ds, ["a"])
+        assert is_sorted_on(ds, ["a", "b"])
+        assert is_sorted_on(ds, ["b", "a"])  # set of the prefix
+        assert not is_sorted_on(ds, ["b"])
+        assert not is_sorted_on(ds, ["a", "c"])
+
+    def test_projection_preserves_prefix(self):
+        ds = DataSet(("a", "b", "c"), [(1, 2, 3)], ordering=("a", "b"))
+        projected = ds.project(["a", "c"])
+        assert projected.ordering == ("a",)
+
+    def test_selection_preserves_ordering(self, db):
+        plan = Select(Sort(Relation("T", "T"), ["T.g"]), gt(col("T.v"), 20))
+        executor = Executor(db)
+        result, __ = executor.run(plan)
+        assert result.ordering == ("T.g",)
+
+    def test_grouped_output_sorted_on_grouping_columns(self, db):
+        """§7: the grouped result is sorted on the grouping columns."""
+        plan = Apply(Group(Relation("T", "T"), ["T.g"]), [AggregateSpec("n", count("T.id"))])
+        result, __ = execute(db, plan, ExecutorConfig(aggregation="sort"))
+        assert result.ordering == ("T.g",)
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values)
+
+
+class TestPipelinedAggregation:
+    def agg_plan(self):
+        return Apply(
+            Group(Sort(Relation("T", "T"), ["T.g"]), ["T.g"]),
+            [AggregateSpec("s", sum_("T.v"))],
+        )
+
+    def test_presorted_input_skips_sort(self, db):
+        config = ExecutorConfig(aggregation="sort", exploit_orders=True)
+        __, stats = execute(db, self.agg_plan(), config)
+        (group_stats,) = stats.by_kind("groupby")
+        # Pipelined: one scan + output, no n·log n term.
+        assert group_stats.work == 12 + 4
+
+    def test_without_flag_pays_the_sort(self, db):
+        config = ExecutorConfig(aggregation="sort", exploit_orders=False)
+        __, stats = execute(db, self.agg_plan(), config)
+        (group_stats,) = stats.by_kind("groupby")
+        assert group_stats.work > 12 + 4
+
+    def test_results_identical_either_way(self, db):
+        fast, __ = execute(
+            db, self.agg_plan(), ExecutorConfig(aggregation="sort", exploit_orders=True)
+        )
+        slow, __ = execute(
+            db, self.agg_plan(), ExecutorConfig(aggregation="sort")
+        )
+        reference, __ = execute(db, self.agg_plan(), ExecutorConfig(aggregation="hash"))
+        assert fast.equals_multiset(slow)
+        assert fast.equals_multiset(reference)
+
+    def test_presorted_grouping_with_nulls(self, db):
+        """NULL grouping values collate first and stay contiguous."""
+        db.insert("T", [100, NULL, 5])
+        db.insert("T", [101, NULL, 7])
+        fast, __ = execute(
+            db, self.agg_plan(), ExecutorConfig(aggregation="sort", exploit_orders=True)
+        )
+        reference, __ = execute(db, self.agg_plan(), ExecutorConfig(aggregation="hash"))
+        assert fast.equals_multiset(reference)
+
+
+class TestSortMergeJoinReuse:
+    def join_plan(self):
+        return Join(
+            Sort(Relation("T", "T"), ["T.g"]),
+            Relation("S", "S"),
+            eq(col("T.g"), col("S.g")),
+        )
+
+    def test_presorted_left_skips_its_sort(self, db):
+        config = ExecutorConfig(join_algorithm="sort_merge")
+        __, stats = execute(db, self.join_plan(), config)
+        (join_stats,) = [s for s in stats.by_kind("join")]
+        # Work excludes the left sort (12·log₂12 ≈ 48 saved); the bound
+        # below would be violated if the left were re-sorted.
+        assert join_stats.work <= 12 + 4 * 2 + 12 + 4 + 12
+
+    def test_join_output_carries_left_key_order(self, db):
+        config = ExecutorConfig(join_algorithm="sort_merge")
+        result, __ = execute(db, self.join_plan(), config)
+        assert result.ordering == ("T.g",)
+        keys = [row[1] for row in result.rows]
+        assert keys == sorted(keys)
+
+    def test_eager_aggregate_feeds_merge_join_cheaply(self, db):
+        """The §7 payoff: the eager aggregate's sorted output makes the
+        subsequent sort-merge join skip one sort phase."""
+        eager_block = Apply(
+            Group(Relation("T", "T"), ["T.g"]),
+            [AggregateSpec("s", sum_("T.v"))],
+        )
+        plan = Join(eager_block, Relation("S", "S"), eq(col("T.g"), col("S.g")))
+        config = ExecutorConfig(join_algorithm="sort_merge", aggregation="sort")
+        result, stats = execute(db, plan, config)
+        assert result.cardinality == 4
+        (join_stats,) = stats.by_kind("join")
+        # 4 aggregate rows + 4 S rows: only S's sort (4·log₂4 = 8) remains.
+        assert join_stats.work <= 8 + 4 + 4 + 4

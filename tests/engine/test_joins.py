@@ -1,0 +1,117 @@
+"""Join algorithms: agreement, NULL-key behaviour, residual predicates."""
+
+import pytest
+
+from repro.engine.dataset import DataSet
+from repro.engine.joins import (
+    cartesian_product,
+    extract_equi_keys,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.expressions.builder import and_, col, eq, gt, lt
+from repro.sqltypes.values import NULL
+
+ALGORITHMS = [nested_loop_join, hash_join, sort_merge_join]
+
+
+def left_ds():
+    return DataSet(("L.k", "L.v"), [(1, "a"), (2, "b"), (2, "c"), (NULL, "n")])
+
+
+def right_ds():
+    return DataSet(("R.k", "R.w"), [(1, 10), (2, 20), (3, 30), (NULL, 40)])
+
+
+class TestEquiJoin:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches(self, algorithm):
+        result, __ = algorithm(left_ds(), right_ds(), eq(col("L.k"), col("R.k")))
+        assert sorted(row[1] for row in result.rows) == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_null_keys_never_match(self, algorithm):
+        """NULL = NULL is UNKNOWN in WHERE semantics: the NULL rows drop."""
+        result, __ = algorithm(left_ds(), right_ds(), eq(col("L.k"), col("R.k")))
+        assert all(row[0] is not NULL for row in result.rows)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicates_multiply(self, algorithm):
+        left = DataSet(("L.k",), [(1,), (1,)])
+        right = DataSet(("R.k",), [(1,), (1,), (1,)])
+        result, __ = algorithm(left, right, eq(col("L.k"), col("R.k")))
+        assert result.cardinality == 6
+
+    def test_all_algorithms_agree(self):
+        condition = eq(col("L.k"), col("R.k"))
+        results = [
+            algorithm(left_ds(), right_ds(), condition)[0]
+            for algorithm in ALGORITHMS
+        ]
+        assert results[0].equals_multiset(results[1])
+        assert results[1].equals_multiset(results[2])
+
+    @pytest.mark.parametrize("algorithm", [hash_join, sort_merge_join])
+    def test_residual_predicate(self, algorithm):
+        condition = and_(eq(col("L.k"), col("R.k")), gt(col("R.w"), 15))
+        result, __ = algorithm(left_ds(), right_ds(), condition)
+        assert sorted(row[1] for row in result.rows) == ["b", "c"]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_non_equi_condition(self, algorithm):
+        """Pure inequality joins fall back to nested loop internally."""
+        result, __ = algorithm(left_ds(), right_ds(), lt(col("L.k"), col("R.k")))
+        expected, __ = nested_loop_join(
+            left_ds(), right_ds(), lt(col("L.k"), col("R.k"))
+        )
+        assert result.equals_multiset(expected)
+
+
+class TestWorkAccounting:
+    def test_nested_loop_work_is_product(self):
+        """The |L| × |R| metric the paper's Figure 1 quotes."""
+        __, work = nested_loop_join(left_ds(), right_ds(), eq(col("L.k"), col("R.k")))
+        assert work == 4 * 4
+
+    def test_hash_join_work_is_linear(self):
+        __, work = hash_join(left_ds(), right_ds(), eq(col("L.k"), col("R.k")))
+        assert work < 4 * 4
+
+
+class TestCartesianProduct:
+    def test_product(self):
+        result, work = cartesian_product(left_ds(), right_ds())
+        assert result.cardinality == 16
+        assert work == 16
+        assert result.columns == ("L.k", "L.v", "R.k", "R.w")
+
+    def test_empty_side(self):
+        empty = DataSet(("E.x",), [])
+        result, __ = cartesian_product(left_ds(), empty)
+        assert result.cardinality == 0
+
+
+class TestExtractEquiKeys:
+    def test_extracts_cross_input_pairs(self):
+        pairs, residual = extract_equi_keys(
+            eq(col("L.k"), col("R.k")), left_ds(), right_ds()
+        )
+        assert pairs == [(0, 0)]
+        assert residual is None
+
+    def test_reversed_sides(self):
+        pairs, __ = extract_equi_keys(
+            eq(col("R.k"), col("L.k")), left_ds(), right_ds()
+        )
+        assert pairs == [(0, 0)]
+
+    def test_residual_collects_the_rest(self):
+        condition = and_(eq(col("L.k"), col("R.k")), gt(col("L.v"), col("R.w")))
+        pairs, residual = extract_equi_keys(condition, left_ds(), right_ds())
+        assert len(pairs) == 1
+        assert residual is not None
+
+    def test_none_condition(self):
+        pairs, residual = extract_equi_keys(None, left_ds(), right_ds())
+        assert pairs == [] and residual is None

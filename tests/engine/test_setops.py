@@ -1,0 +1,136 @@
+"""UNION/EXCEPT/INTERSECT: the §4.2 duplicate operations, engine level."""
+
+import pytest
+
+from repro.engine.dataset import DataSet
+from repro.engine.setops import apply_set_operation, except_, intersect, union
+from repro.errors import ExecutionError
+from repro.sqltypes.values import NULL
+
+
+def left_ds():
+    return DataSet(("a",), [(1,), (2,), (2,), (NULL,)])
+
+
+def right_ds():
+    return DataSet(("b",), [(2,), (3,), (NULL,), (NULL,)])
+
+
+class TestUnion:
+    def test_union_all_concatenates(self):
+        result, __ = union(left_ds(), right_ds(), all_rows=True)
+        assert result.cardinality == 8
+
+    def test_union_distinct(self):
+        result, __ = union(left_ds(), right_ds())
+        assert result.cardinality == 4  # 1, 2, 3, NULL
+
+    def test_null_is_a_duplicate_of_null(self):
+        """§4.2: duplicate operations treat NULL = NULL."""
+        left = DataSet(("a",), [(NULL,)])
+        right = DataSet(("a",), [(NULL,)])
+        result, __ = union(left, right)
+        assert result.cardinality == 1
+
+    def test_output_uses_left_columns(self):
+        result, __ = union(left_ds(), right_ds())
+        assert result.columns == ("a",)
+
+
+class TestExcept:
+    def test_except_distinct(self):
+        result, __ = except_(left_ds(), right_ds())
+        assert result.sorted_rows() == [(1,)]
+
+    def test_except_all_subtracts_multiplicities(self):
+        result, __ = except_(left_ds(), right_ds(), all_rows=True)
+        # left {1, 2, 2, NULL} minus right {2, 3, NULL, NULL}: {1, 2}.
+        assert result.sorted_rows() == [(1,), (2,)]
+
+    def test_except_all_null_accounting(self):
+        left = DataSet(("a",), [(NULL,), (NULL,), (NULL,)])
+        right = DataSet(("a",), [(NULL,)])
+        result, __ = except_(left, right, all_rows=True)
+        assert result.cardinality == 2
+
+    def test_except_self_is_empty(self):
+        result, __ = except_(left_ds(), left_ds(), all_rows=True)
+        assert result.cardinality == 0
+
+
+class TestIntersect:
+    def test_intersect_distinct(self):
+        result, __ = intersect(left_ds(), right_ds())
+        assert result.cardinality == 2  # 2 and NULL
+
+    def test_intersect_all_minimum_multiplicity(self):
+        left = DataSet(("a",), [(2,), (2,), (2,)])
+        right = DataSet(("a",), [(2,), (2,)])
+        result, __ = intersect(left, right, all_rows=True)
+        assert result.cardinality == 2
+
+    def test_intersect_empty(self):
+        result, __ = intersect(left_ds(), DataSet(("b",), []))
+        assert result.cardinality == 0
+
+
+class TestDispatchAndErrors:
+    def test_dispatch(self):
+        for operator in ("union", "except", "intersect"):
+            result, __ = apply_set_operation(operator, left_ds(), right_ds(), False)
+            assert result.cardinality >= 0
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExecutionError):
+            apply_set_operation("xor", left_ds(), right_ds(), False)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ExecutionError):
+            union(left_ds(), DataSet(("x", "y"), []))
+
+
+class TestThroughSql:
+    @pytest.fixture
+    def session(self):
+        from repro.session import Session
+
+        s = Session()
+        s.execute("CREATE TABLE A (x INTEGER)")
+        s.execute("CREATE TABLE B (x INTEGER)")
+        s.execute("INSERT INTO A VALUES (1), (2), (2), (NULL)")
+        s.execute("INSERT INTO B VALUES (2), (3), (NULL)")
+        return s
+
+    def test_union_sql(self, session):
+        result = session.query("SELECT A.x FROM A UNION SELECT B.x FROM B")
+        assert result.cardinality == 4
+
+    def test_chained_left_associative(self, session):
+        result = session.query(
+            "SELECT A.x FROM A UNION SELECT B.x FROM B EXCEPT SELECT B.x FROM B"
+        )
+        # (A ∪ B) − B = {1}.
+        assert result.sorted_rows() == [(1,)]
+
+    def test_order_by_applies_to_whole_chain(self, session):
+        result = session.query(
+            "SELECT A.x FROM A UNION SELECT B.x FROM B ORDER BY x DESC"
+        )
+        values = [row[0] for row in result.rows]
+        assert values[0] == 3  # descending; NULL collates last under DESC
+
+    def test_set_op_over_aggregates(self, session):
+        result = session.query(
+            "SELECT COUNT(A.x) AS n FROM A UNION SELECT COUNT(B.x) AS n FROM B"
+        )
+        assert {row[0] for row in result.rows} == {3, 2}
+
+    def test_strategy_label(self, session):
+        report = session.report("SELECT A.x FROM A INTERSECT ALL SELECT B.x FROM B")
+        assert report.strategy == "set-intersect-all"
+
+    def test_execute_rejects_set_operation(self, session):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            session.execute("SELECT A.x FROM A UNION SELECT B.x FROM B")

@@ -1,0 +1,68 @@
+"""Direct tests of the sorting substrate (multi-key, mixed direction)."""
+
+import pytest
+
+from repro.engine.dataset import DataSet
+from repro.engine.sorting import is_sorted_on, sort_dataset
+from repro.sqltypes.values import NULL
+
+
+def dataset():
+    return DataSet(
+        ("a", "b"),
+        [(2, "x"), (1, "z"), (2, "y"), (NULL, "w"), (1, "a")],
+    )
+
+
+class TestSingleKey:
+    def test_ascending_nulls_first(self):
+        ordered, __ = sort_dataset(dataset(), ["a"])
+        keys = [row[0] for row in ordered.rows]
+        assert keys[0] is NULL
+        assert keys[1:] == [1, 1, 2, 2]
+
+    def test_descending_nulls_last(self):
+        ordered, __ = sort_dataset(dataset(), ["a"], [True])
+        keys = [row[0] for row in ordered.rows]
+        assert keys[:4] == [2, 2, 1, 1]
+        assert keys[4] is NULL
+
+    def test_work_accounted(self):
+        __, work = sort_dataset(dataset(), ["a"])
+        assert work == 5 * 3  # n · ceil(log2 n)
+
+    def test_empty_and_singleton(self):
+        empty, work = sort_dataset(DataSet(("a",), []), ["a"])
+        assert empty.cardinality == 0 and work == 0
+        single, work = sort_dataset(DataSet(("a",), [(1,)]), ["a"])
+        assert single.cardinality == 1 and work == 1
+
+
+class TestMultiKey:
+    def test_two_ascending_keys(self):
+        ordered, __ = sort_dataset(dataset(), ["a", "b"])
+        rows = [row for row in ordered.rows if row[0] == 1]
+        assert [row[1] for row in rows] == ["a", "z"]
+
+    def test_mixed_directions(self):
+        """a DESC then b ASC: groups reversed, stable within."""
+        ordered, __ = sort_dataset(dataset(), ["a", "b"], [True, False])
+        non_null = [row for row in ordered.rows if row[0] is not NULL]
+        assert [row[0] for row in non_null] == [2, 2, 1, 1]
+        twos = [row[1] for row in non_null if row[0] == 2]
+        assert twos == ["x", "y"]
+
+    def test_mixed_directions_clear_ordering_property(self):
+        ordered, __ = sort_dataset(dataset(), ["a", "b"], [True, False])
+        assert ordered.ordering == ()
+
+    def test_full_ascending_sets_ordering(self):
+        ordered, __ = sort_dataset(dataset(), ["a", "b"])
+        assert ordered.ordering == ("a", "b")
+        assert is_sorted_on(ordered, ["a"])
+        assert is_sorted_on(ordered, ["a", "b"])
+
+    def test_bare_name_resolution(self):
+        ds = DataSet(("T.a",), [(2,), (1,)])
+        ordered, __ = sort_dataset(ds, ["a"])
+        assert [row[0] for row in ordered.rows] == [1, 2]

@@ -1,0 +1,70 @@
+"""Execution statistics: the accounting surface the benches rely on."""
+
+from repro.engine.stats import ExecutionStats, NodeStats
+
+
+def stats_with(*entries):
+    stats = ExecutionStats()
+    for i, entry in enumerate(entries):
+        stats.record(i, entry)
+    return stats
+
+
+def node(kind, inputs, output, work, label=""):
+    return NodeStats(label or kind, kind, tuple(inputs), output, work)
+
+
+class TestAccessors:
+    def test_by_kind(self):
+        stats = stats_with(
+            node("scan", (), 10, 10),
+            node("join", (10, 5), 8, 15),
+            node("groupby", (8,), 3, 11),
+        )
+        assert len(stats.by_kind("join")) == 1
+        assert stats.by_kind("nothing") == []
+
+    def test_total_work(self):
+        stats = stats_with(node("scan", (), 10, 10), node("select", (10,), 4, 10))
+        assert stats.total_work() == 20
+
+    def test_join_input_sizes_only_binary(self):
+        stats = stats_with(
+            node("scan", (), 10, 10),
+            node("join", (10, 5), 8, 15),
+            node("join", (8, 2), 4, 10),
+        )
+        assert stats.join_input_sizes() == [(10, 5), (8, 2)]
+
+    def test_groupby_input_rows_sums(self):
+        stats = stats_with(
+            node("groupby", (100,), 10, 110),
+            node("groupby", (50,), 5, 55),
+        )
+        assert stats.groupby_input_rows() == 150
+
+    def test_join_work_product(self):
+        entry = node("join", (10, 5), 8, 15)
+        assert entry.join_work_product == 50
+        assert node("scan", (), 10, 10).join_work_product == 0
+
+    def test_cardinality_map_shape(self):
+        stats = stats_with(node("scan", (), 10, 10))
+        mapping = stats.cardinality_map()
+        assert mapping[0] == ((), 10)
+
+    def test_summary_lists_everything(self):
+        stats = stats_with(
+            node("scan", (), 10, 10, label="T"),
+            node("join", (10, 5), 8, 15, label="J"),
+        )
+        text = stats.summary()
+        assert "T" in text and "J" in text
+        assert "total work: 25" in text
+
+    def test_order_preserved(self):
+        stats = stats_with(
+            node("scan", (), 1, 1), node("scan", (), 2, 2), node("join", (1, 2), 2, 3)
+        )
+        kinds = [stats.nodes[i].kind for i in stats.order]
+        assert kinds == ["scan", "scan", "join"]

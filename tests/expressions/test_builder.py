@@ -1,0 +1,176 @@
+"""The expression builder helpers (the public tree-construction API)."""
+
+import pytest
+
+from repro.expressions.ast import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from repro.expressions.builder import (
+    add,
+    and_,
+    avg,
+    between,
+    col,
+    count,
+    count_star,
+    div,
+    eq,
+    ge,
+    gt,
+    host,
+    in_,
+    is_not_null,
+    is_null_,
+    le,
+    like,
+    lit,
+    lt,
+    max_,
+    min_,
+    mul,
+    ne,
+    neg,
+    not_,
+    null,
+    or_,
+    sub,
+    sum_,
+)
+from repro.sqltypes.values import is_null
+
+
+class TestLeaves:
+    def test_col_qualified(self):
+        ref = col("E.DeptID")
+        assert ref == ColumnRef("E", "DeptID")
+        assert ref.qualified == "E.DeptID"
+
+    def test_col_bare(self):
+        assert col("DeptID") == ColumnRef("", "DeptID")
+
+    def test_col_nested_qualifier_splits_on_last_dot(self):
+        ref = col("schema.table.col")
+        assert ref.table == "schema.table" and ref.column == "col"
+
+    def test_lit_and_null(self):
+        assert lit(5) == Literal(5)
+        assert is_null(null().value)
+
+    def test_host(self):
+        assert host("m").name == "m"
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "builder,op",
+        [(eq, "="), (ne, "<>"), (lt, "<"), (le, "<="), (gt, ">"), (ge, ">=")],
+    )
+    def test_operators(self, builder, op):
+        predicate = builder(col("T.a"), 5)
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == op
+        # Raw values coerce to literals; columns must be explicit.
+        assert isinstance(predicate.right, Literal)
+
+    def test_strings_stay_literal(self):
+        predicate = eq(col("T.a"), "T.b")
+        assert isinstance(predicate.right, Literal)
+        assert predicate.right.value == "T.b"
+
+
+class TestConnectives:
+    def test_and_left_deep(self):
+        p = and_(eq(col("a"), 1), eq(col("b"), 2), eq(col("c"), 3))
+        assert isinstance(p, And)
+        assert isinstance(p.left, And)
+
+    def test_or_and_not(self):
+        assert isinstance(or_(eq(col("a"), 1), eq(col("b"), 2)), Or)
+        assert isinstance(not_(eq(col("a"), 1)), Not)
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            and_()
+        with pytest.raises(ValueError):
+            or_()
+
+    def test_single_term_passthrough(self):
+        term = eq(col("a"), 1)
+        assert and_(term) is term
+        assert or_(term) is term
+
+    def test_null_tests(self):
+        assert isinstance(is_null_(col("a")), IsNull)
+        assert is_not_null(col("a")).negated
+
+
+class TestPredicateForms:
+    def test_in_coerces_items(self):
+        predicate = in_(col("a"), 1, 2, 3)
+        assert isinstance(predicate, InList)
+        assert all(isinstance(item, Literal) for item in predicate.items)
+
+    def test_in_negated(self):
+        assert in_(col("a"), 1, negated=True).negated
+
+    def test_between(self):
+        predicate = between(col("a"), 1, 9)
+        assert isinstance(predicate, Between)
+        assert predicate.low == Literal(1)
+
+    def test_like(self):
+        predicate = like(col("s"), "x%")
+        assert isinstance(predicate, Like)
+        assert predicate.pattern == "x%"
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "builder,op", [(add, "+"), (sub, "-"), (mul, "*"), (div, "/")]
+    )
+    def test_operators(self, builder, op):
+        expression = builder(col("a"), 2)
+        assert isinstance(expression, Arithmetic)
+        assert expression.op == op
+
+    def test_neg(self):
+        assert isinstance(neg(col("a")), Negate)
+
+
+class TestAggregates:
+    def test_count_star(self):
+        aggregate = count_star()
+        assert aggregate.function == "COUNT"
+        assert aggregate.argument is None
+
+    @pytest.mark.parametrize(
+        "builder,function",
+        [(count, "COUNT"), (sum_, "SUM"), (avg, "AVG"), (min_, "MIN"), (max_, "MAX")],
+    )
+    def test_functions_accept_string_or_expression(self, builder, function):
+        from_string = builder("T.v")
+        assert isinstance(from_string, Aggregate)
+        assert from_string.function == function
+        assert from_string.argument == ColumnRef("T", "v")
+        from_expression = builder(add(col("T.v"), 1))
+        assert isinstance(from_expression.argument, Arithmetic)
+
+    def test_distinct_flags(self):
+        assert count("T.v", distinct=True).distinct
+        assert sum_("T.v", distinct=True).distinct
+
+    def test_non_count_star_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate("SUM", None)

@@ -1,0 +1,144 @@
+"""Expression evaluation under strict SQL2 three-valued logic."""
+
+import pytest
+
+from repro.errors import BindingError, ExecutionError
+from repro.expressions.builder import (
+    add,
+    and_,
+    col,
+    count,
+    div,
+    eq,
+    ge,
+    gt,
+    host,
+    is_null_,
+    is_not_null,
+    le,
+    lit,
+    lt,
+    mul,
+    ne,
+    neg,
+    not_,
+    null,
+    or_,
+    sub,
+)
+from repro.expressions.eval import RowScope, evaluate_predicate, evaluate_scalar, qualifies
+from repro.sqltypes.truth import FALSE, TRUE, UNKNOWN
+from repro.sqltypes.values import NULL, is_null
+
+
+def scope(**values):
+    return RowScope({key.replace("__", "."): value for key, value in values.items()})
+
+
+class TestScalarEvaluation:
+    def test_literal_and_column(self):
+        s = scope(T__a=5)
+        assert evaluate_scalar(lit(7), s) == 7
+        assert evaluate_scalar(col("T.a"), s) == 5
+
+    def test_unqualified_resolution(self):
+        s = scope(T__a=5)
+        assert evaluate_scalar(col("a"), s) == 5
+
+    def test_ambiguous_unqualified(self):
+        s = RowScope({"T.a": 1, "S.a": 2})
+        with pytest.raises(BindingError):
+            evaluate_scalar(col("a"), s)
+
+    def test_unknown_column(self):
+        with pytest.raises(BindingError):
+            evaluate_scalar(col("T.z"), scope(T__a=1))
+
+    def test_arithmetic(self):
+        s = scope(T__a=6, T__b=3)
+        assert evaluate_scalar(add(col("T.a"), col("T.b")), s) == 9
+        assert evaluate_scalar(sub(col("T.a"), col("T.b")), s) == 3
+        assert evaluate_scalar(mul(col("T.a"), col("T.b")), s) == 18
+        assert evaluate_scalar(div(col("T.a"), col("T.b")), s) == 2
+        assert evaluate_scalar(neg(col("T.a")), s) == -6
+
+    def test_arithmetic_null_propagation(self):
+        s = scope(T__a=NULL, T__b=3)
+        assert is_null(evaluate_scalar(add(col("T.a"), col("T.b")), s))
+
+    def test_host_variable(self):
+        assert evaluate_scalar(host("x"), scope(T__a=1), {"x": 42}) == 42
+        with pytest.raises(ExecutionError):
+            evaluate_scalar(host("x"), scope(T__a=1))
+
+    def test_aggregate_in_scalar_position_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate_scalar(count("T.a"), scope(T__a=1))
+
+
+class TestPredicateEvaluation:
+    def test_comparisons_with_null_are_unknown(self):
+        s = scope(T__a=NULL)
+        for predicate in (
+            eq(col("T.a"), 1), ne(col("T.a"), 1), lt(col("T.a"), 1),
+            le(col("T.a"), 1), gt(col("T.a"), 1), ge(col("T.a"), 1),
+        ):
+            assert evaluate_predicate(predicate, s) is UNKNOWN
+
+    def test_null_equals_null_is_unknown(self):
+        """The WHERE-clause `=`, unlike the duplicate operator =ⁿ."""
+        assert evaluate_predicate(eq(null(), null()), scope(T__a=1)) is UNKNOWN
+
+    def test_and_or_with_unknown(self):
+        s = scope(T__a=NULL, T__b=5)
+        unknown = eq(col("T.a"), 1)
+        true = eq(col("T.b"), 5)
+        false = eq(col("T.b"), 6)
+        assert evaluate_predicate(and_(unknown, true), s) is UNKNOWN
+        assert evaluate_predicate(and_(unknown, false), s) is FALSE
+        assert evaluate_predicate(or_(unknown, true), s) is TRUE
+        assert evaluate_predicate(or_(unknown, false), s) is UNKNOWN
+
+    def test_not_unknown(self):
+        s = scope(T__a=NULL)
+        assert evaluate_predicate(not_(eq(col("T.a"), 1)), s) is UNKNOWN
+
+    def test_is_null(self):
+        s = scope(T__a=NULL, T__b=1)
+        assert evaluate_predicate(is_null_(col("T.a")), s) is TRUE
+        assert evaluate_predicate(is_null_(col("T.b")), s) is FALSE
+        assert evaluate_predicate(is_not_null(col("T.a")), s) is FALSE
+        assert evaluate_predicate(is_not_null(col("T.b")), s) is TRUE
+
+    def test_boolean_literals(self):
+        s = scope(T__a=1)
+        assert evaluate_predicate(lit(True), s) is TRUE
+        assert evaluate_predicate(lit(False), s) is FALSE
+        assert evaluate_predicate(null(), s) is UNKNOWN
+
+    def test_boolean_column_in_predicate_position(self):
+        s = RowScope({"T.flag": True, "T.off": False, "T.missing": NULL})
+        assert evaluate_predicate(col("T.flag"), s) is TRUE
+        assert evaluate_predicate(col("T.off"), s) is FALSE
+        assert evaluate_predicate(col("T.missing"), s) is UNKNOWN
+
+
+class TestQualifies:
+    """WHERE semantics: only TRUE admits the row (⌊·⌋)."""
+
+    def test_unknown_is_rejected(self):
+        s = scope(T__a=NULL)
+        assert qualifies(eq(col("T.a"), 1), s) is False
+
+    def test_true_admits(self):
+        s = scope(T__a=1)
+        assert qualifies(eq(col("T.a"), 1), s) is True
+
+    def test_none_condition_admits_all(self):
+        assert qualifies(None, scope(T__a=1)) is True
+
+    def test_predicate_in_value_position(self):
+        s = scope(T__a=1)
+        assert evaluate_scalar(eq(col("T.a"), 1), s) is True
+        assert evaluate_scalar(eq(col("T.a"), 2), s) is False
+        assert is_null(evaluate_scalar(eq(col("T.a"), null()), s))

@@ -1,0 +1,130 @@
+"""CNF/DNF/NNF normalization, checked both structurally and semantically."""
+
+import itertools
+
+import pytest
+
+from repro.errors import TransformationError
+from repro.expressions.builder import and_, col, eq, gt, lt, not_, or_
+from repro.expressions.eval import RowScope, evaluate_predicate
+from repro.expressions.normalize import (
+    conjoin,
+    disjoin,
+    split_conjuncts,
+    split_disjuncts,
+    to_cnf,
+    to_dnf,
+    to_nnf,
+)
+from repro.sqltypes.values import NULL
+
+A = eq(col("T.a"), 1)
+B = eq(col("T.b"), 2)
+C = eq(col("T.c"), 3)
+D = eq(col("T.d"), 4)
+
+
+def truth_on(expression, a, b, c, d):
+    scope = RowScope({"T.a": a, "T.b": b, "T.c": c, "T.d": d})
+    return evaluate_predicate(expression, scope)
+
+
+def assert_equivalent(left, right):
+    """Exhaustively compare three-valued truth over a small domain with NULL."""
+    domain = [0, 1, 2, 3, 4, NULL]
+    for a, b in itertools.product(domain, repeat=2):
+        for c, d in ((0, 0), (3, 4), (NULL, 4)):
+            assert truth_on(left, a, b, c, d) is truth_on(right, a, b, c, d), (
+                f"differ at a={a} b={b} c={c} d={d}"
+            )
+
+
+def rebuild_cnf(clauses):
+    return conjoin([disjoin(list(clause)) for clause in clauses])
+
+
+def rebuild_dnf(components):
+    return disjoin([conjoin(list(component)) for component in components])
+
+
+class TestNNF:
+    def test_double_negation(self):
+        assert to_nnf(not_(not_(A))) == A
+
+    def test_de_morgan(self):
+        result = to_nnf(not_(and_(A, B)))
+        assert str(result) == str(or_(not_(A), not_(B))) or "OR" in str(result)
+        assert_equivalent(not_(and_(A, B)), result)
+
+    def test_comparison_negation_flips_operator(self):
+        result = to_nnf(not_(lt(col("T.a"), 1)))
+        assert ">=" in str(result)
+        assert_equivalent(not_(lt(col("T.a"), 1)), result)
+
+    def test_negated_is_null(self):
+        from repro.expressions.builder import is_null_
+
+        result = to_nnf(not_(is_null_(col("T.a"))))
+        assert "IS NOT NULL" in str(result)
+
+
+class TestCNF:
+    def test_conjunction_passthrough(self):
+        clauses = to_cnf(and_(A, B, C))
+        assert len(clauses) == 3
+        assert all(len(clause) == 1 for clause in clauses)
+
+    def test_distribution(self):
+        # A ∨ (B ∧ C)  ->  (A ∨ B) ∧ (A ∨ C)
+        clauses = to_cnf(or_(A, and_(B, C)))
+        assert len(clauses) == 2
+        assert_equivalent(or_(A, and_(B, C)), rebuild_cnf(clauses))
+
+    def test_nested(self):
+        expression = or_(and_(A, B), and_(C, D))
+        clauses = to_cnf(expression)
+        assert len(clauses) == 4
+        assert_equivalent(expression, rebuild_cnf(clauses))
+
+    def test_max_terms_guard(self):
+        terms = [or_(eq(col(f"T.a"), i), eq(col(f"T.b"), i)) for i in range(12)]
+        big = terms[0]
+        for term in terms[1:]:
+            big = or_(big, term)  # disjunction of ORs forces blowup via DNF
+        with pytest.raises(TransformationError):
+            to_dnf(and_(*[or_(A, B) for __ in range(20)]), max_terms=100)
+
+
+class TestDNF:
+    def test_disjunction_passthrough(self):
+        components = to_dnf(or_(A, B, C))
+        assert len(components) == 3
+
+    def test_distribution(self):
+        # A ∧ (B ∨ C)  ->  (A ∧ B) ∨ (A ∧ C)
+        components = to_dnf(and_(A, or_(B, C)))
+        assert len(components) == 2
+        assert_equivalent(and_(A, or_(B, C)), rebuild_dnf(components))
+
+    def test_atomic(self):
+        assert to_dnf(A) == ((A,),)
+
+
+class TestSplitters:
+    def test_split_conjuncts(self):
+        assert split_conjuncts(and_(A, B, C)) == (A, B, C)
+        assert split_conjuncts(A) == (A,)
+        assert split_conjuncts(None) == ()
+
+    def test_split_disjuncts(self):
+        assert split_disjuncts(or_(A, B)) == (A, B)
+        assert split_disjuncts(None) == ()
+
+    def test_conjoin_roundtrip(self):
+        assert conjoin([]) is None
+        assert conjoin([A]) == A
+        assert split_conjuncts(conjoin([A, B, C])) == (A, B, C)
+
+    def test_disjoin_roundtrip(self):
+        assert disjoin([]) is None
+        assert split_disjuncts(disjoin([A, B])) == (A, B)

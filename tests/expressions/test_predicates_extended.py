@@ -1,0 +1,146 @@
+"""IN / BETWEEN / LIKE: three-valued semantics and normalization."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.expressions.ast import Between, InList, Like
+from repro.expressions.builder import between, col, eq, in_, like, lit, not_, or_
+from repro.expressions.eval import RowScope, evaluate_predicate
+from repro.expressions.normalize import to_nnf
+from repro.sqltypes.truth import FALSE, TRUE, UNKNOWN
+from repro.sqltypes.values import NULL
+
+
+def scope(**values):
+    return RowScope({key.replace("__", "."): value for key, value in values.items()})
+
+
+class TestInList:
+    def test_membership(self):
+        predicate = in_(col("T.a"), 1, 2, 3)
+        assert evaluate_predicate(predicate, scope(T__a=2)) is TRUE
+        assert evaluate_predicate(predicate, scope(T__a=9)) is FALSE
+
+    def test_null_operand_unknown(self):
+        predicate = in_(col("T.a"), 1, 2)
+        assert evaluate_predicate(predicate, scope(T__a=NULL)) is UNKNOWN
+
+    def test_null_item_semantics(self):
+        """x IN (1, NULL) is TRUE when x = 1, UNKNOWN when x = 2 —
+        the OR-of-equalities definition."""
+        predicate = InList(col("T.a"), (lit(1), lit(NULL)))
+        assert evaluate_predicate(predicate, scope(T__a=1)) is TRUE
+        assert evaluate_predicate(predicate, scope(T__a=2)) is UNKNOWN
+
+    def test_not_in(self):
+        predicate = in_(col("T.a"), 1, 2, negated=True)
+        assert evaluate_predicate(predicate, scope(T__a=3)) is TRUE
+        assert evaluate_predicate(predicate, scope(T__a=1)) is FALSE
+        assert evaluate_predicate(predicate, scope(T__a=NULL)) is UNKNOWN
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            InList(col("T.a"), ())
+
+    def test_str(self):
+        assert "NOT IN" in str(in_(col("T.a"), 1, negated=True))
+
+
+class TestBetween:
+    def test_inclusive_bounds(self):
+        predicate = between(col("T.a"), 1, 3)
+        for value, expected in ((0, FALSE), (1, TRUE), (2, TRUE), (3, TRUE), (4, FALSE)):
+            assert evaluate_predicate(predicate, scope(T__a=value)) is expected
+
+    def test_null_propagates(self):
+        assert (
+            evaluate_predicate(between(col("T.a"), 1, 3), scope(T__a=NULL)) is UNKNOWN
+        )
+        predicate = Between(col("T.a"), lit(NULL), lit(3))
+        # NULL low bound: x <= 3 can still decide FALSE when x > 3.
+        assert evaluate_predicate(predicate, scope(T__a=5)) is FALSE
+        assert evaluate_predicate(predicate, scope(T__a=2)) is UNKNOWN
+
+    def test_not_between(self):
+        predicate = between(col("T.a"), 1, 3, negated=True)
+        assert evaluate_predicate(predicate, scope(T__a=0)) is TRUE
+        assert evaluate_predicate(predicate, scope(T__a=2)) is FALSE
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("dragon", "dragon", TRUE),
+            ("dragon", "Dragon", FALSE),
+            ("dra%", "dragon", TRUE),
+            ("%gon", "dragon", TRUE),
+            ("%a%", "dragon", TRUE),
+            ("d_agon", "dragon", TRUE),
+            ("d_gon", "dragon", FALSE),
+            ("%", "", TRUE),
+            ("_", "", FALSE),
+            ("10.5%", "10x5percent", FALSE),  # '.' is literal, not regex
+        ],
+    )
+    def test_patterns(self, pattern, value, expected):
+        predicate = like(col("T.s"), pattern)
+        assert evaluate_predicate(predicate, scope(T__s=value)) is expected
+
+    def test_null_operand(self):
+        assert evaluate_predicate(like(col("T.s"), "%"), scope(T__s=NULL)) is UNKNOWN
+
+    def test_not_like(self):
+        predicate = like(col("T.s"), "dra%", negated=True)
+        assert evaluate_predicate(predicate, scope(T__s="cat")) is TRUE
+        assert evaluate_predicate(predicate, scope(T__s="dragon")) is FALSE
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate_predicate(like(col("T.s"), "%"), scope(T__s=5))
+
+
+class TestNormalization:
+    def test_not_in_flips_flag(self):
+        nnf = to_nnf(not_(in_(col("T.a"), 1, 2)))
+        assert isinstance(nnf, InList) and nnf.negated
+
+    def test_not_between_flips_flag(self):
+        nnf = to_nnf(not_(between(col("T.a"), 1, 2)))
+        assert isinstance(nnf, Between) and nnf.negated
+
+    def test_not_like_flips_flag(self):
+        nnf = to_nnf(not_(like(col("T.s"), "x%")))
+        assert isinstance(nnf, Like) and nnf.negated
+
+    def test_double_negation(self):
+        nnf = to_nnf(not_(not_(in_(col("T.a"), 1))))
+        assert isinstance(nnf, InList) and not nnf.negated
+
+    def test_nnf_preserves_truth(self):
+        predicate = not_(or_(in_(col("T.a"), 1, 2), between(col("T.a"), 5, 7)))
+        nnf = to_nnf(predicate)
+        for value in (1, 3, 6, NULL):
+            assert evaluate_predicate(predicate, scope(T__a=value)) is (
+                evaluate_predicate(nnf, scope(T__a=value))
+            )
+
+
+class TestTransformExpression:
+    def test_rebuilds_new_nodes(self):
+        """The central rewriter must descend into IN/BETWEEN/LIKE operands."""
+        from repro.expressions.ast import ColumnRef, transform_expression
+
+        def visit(node):
+            if isinstance(node, ColumnRef):
+                return ColumnRef("X", node.column)
+            return None
+
+        predicate = or_(
+            in_(col("T.a"), col("T.b"), 2),
+            between(col("T.c"), col("T.d"), 9),
+        )
+        rewritten = transform_expression(predicate, visit)
+        text = str(rewritten)
+        assert "X.a" in text and "X.b" in text and "X.c" in text and "X.d" in text
+        assert "T." not in text

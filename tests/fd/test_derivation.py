@@ -1,0 +1,152 @@
+"""Derived FDs from constraints and predicates — Example 2 mechanized."""
+
+import pytest
+
+from repro.catalog import (
+    Column,
+    Database,
+    PrimaryKeyConstraint,
+    TableSchema,
+    UniqueConstraint,
+)
+from repro.expressions.builder import and_, col, eq, lit
+from repro.fd.closure import closure
+from repro.fd.dependency import FunctionalDependency, fd_holds_in
+from repro.fd.derivation import (
+    TableBinding,
+    build_knowledge_base,
+    derived_keys,
+    key_dependencies,
+    predicate_dependencies,
+)
+from repro.sqltypes import INTEGER, VARCHAR
+from repro.sqltypes.values import NULL
+from repro.workloads.schemas import make_part_supplier
+
+
+class TestKeyDependencies:
+    def test_primary_key_fd(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("id", INTEGER), Column("x", INTEGER)],
+                [PrimaryKeyConstraint(["id"])],
+            )
+        )
+        (fd,) = key_dependencies(db, TableBinding("T", "T"))
+        assert fd.lhs == frozenset({"T.id"})
+        assert fd.rhs == frozenset({"T.id", "T.x"})
+
+    def test_alias_qualification(self):
+        db = Database()
+        db.create_table(
+            TableSchema("T", [Column("id", INTEGER)], [PrimaryKeyConstraint(["id"])])
+        )
+        (fd,) = key_dependencies(db, TableBinding("X", "T"))
+        assert fd.lhs == frozenset({"X.id"})
+
+    def test_nullable_unique_excluded_by_default(self):
+        """A UNIQUE key with nullable columns is NOT a key FD under =ⁿ."""
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("u", INTEGER), Column("x", INTEGER)],
+                [UniqueConstraint(["u"])],
+            )
+        )
+        assert key_dependencies(db, TableBinding("T", "T")) == ()
+        liberal = key_dependencies(db, TableBinding("T", "T"), assume_unique_keys=True)
+        assert len(liberal) == 1
+
+    def test_unique_counterexample_instance(self):
+        """The concrete unsoundness: two NULL-keyed rows differ elsewhere,
+        yet SQL2 UNIQUE admits them — the =ⁿ key dependency fails."""
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("u", INTEGER), Column("x", INTEGER)],
+                [UniqueConstraint(["u"])],
+            )
+        )
+        db.insert("T", [NULL, 1])
+        db.insert("T", [NULL, 2])  # accepted by SQL2 UNIQUE
+        from repro.engine.dataset import DataSet
+
+        ds = DataSet(("T.u", "T.x"), [row.values for row in db.table("T")])
+        assert not fd_holds_in(ds, ["T.u"], ["T.x"])
+
+    def test_not_null_unique_included(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "T",
+                [Column("u", INTEGER, nullable=False), Column("x", INTEGER)],
+                [UniqueConstraint(["u"])],
+            )
+        )
+        (fd,) = key_dependencies(db, TableBinding("T", "T"))
+        assert fd.lhs == frozenset({"T.u"})
+
+
+class TestPredicateDependencies:
+    def test_constant_binding(self):
+        fds = predicate_dependencies([eq(col("A.x"), lit(25))])
+        assert FunctionalDependency((), ("A.x",)) in fds
+
+    def test_column_equality_bidirectional(self):
+        fds = predicate_dependencies([eq(col("A.x"), col("B.y"))])
+        assert FunctionalDependency(("A.x",), ("B.y",)) in fds
+        assert FunctionalDependency(("B.y",), ("A.x",)) in fds
+
+    def test_non_equality_ignored(self):
+        from repro.expressions.builder import lt
+
+        assert predicate_dependencies([lt(col("A.x"), 5)]) == ()
+
+
+class TestExample2:
+    """Example 2: PartNo is a key of the ClassCode=25 Part ⋈ Supplier view,
+    and Name is functionally (non-key) dependent on SupplierNo."""
+
+    def make_kb(self):
+        db = make_part_supplier()
+        where = and_(
+            eq(col("P.ClassCode"), lit(25)),
+            eq(col("P.SupplierNo"), col("S.SupplierNo")),
+        )
+        return build_knowledge_base(
+            db,
+            [TableBinding("P", "Part"), TableBinding("S", "Supplier")],
+            where,
+        )
+
+    def test_partno_is_derived_key(self):
+        kb = self.make_kb()
+        visible = ["P.PartNo", "P.PartName", "S.SupplierNo", "S.Name"]
+        keys = derived_keys(kb, visible)
+        assert frozenset({"P.PartNo"}) in keys
+
+    def test_supplierno_determines_name(self):
+        kb = self.make_kb()
+        assert "S.Name" in closure(["S.SupplierNo"], kb.dependencies)
+
+    def test_without_constant_partno_not_key(self):
+        """Drop ClassCode = 25: PartNo alone no longer closes over all."""
+        db = make_part_supplier()
+        kb = build_knowledge_base(
+            db,
+            [TableBinding("P", "Part"), TableBinding("S", "Supplier")],
+            eq(col("P.SupplierNo"), col("S.SupplierNo")),
+        )
+        visible = ["P.PartNo", "P.PartName", "S.SupplierNo", "S.Name"]
+        keys = derived_keys(kb, visible)
+        assert frozenset({"P.PartNo"}) not in keys
+
+    def test_kb_structures(self):
+        kb = self.make_kb()
+        assert "P" in kb.keys_by_alias and "S" in kb.keys_by_alias
+        assert kb.keys_by_alias["S"] == (frozenset({"S.SupplierNo"}),)
+        assert "P.PartName" in kb.columns_by_alias["P"]

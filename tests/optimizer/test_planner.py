@@ -1,0 +1,90 @@
+"""The planner: policy behaviour and regime-correct choices."""
+
+import pytest
+
+from repro.algebra.ops import AggregateSpec
+from repro.core.query_class import GroupByJoinQuery
+from repro.engine.executor import execute
+from repro.errors import PlanningError
+from repro.expressions.builder import col, eq, sum_
+from repro.fd.derivation import TableBinding
+from repro.optimizer.planner import Planner
+from repro.workloads.generators import TwoTableSpec, make_two_table
+
+
+def two_table_query():
+    return GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=eq(col("A.BRef"), col("B.BId")),
+        ga1=[],
+        ga2=["B.BId", "B.Name"],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def figure1_db():
+    return make_two_table(TwoTableSpec(n_a=2000, n_b=20, a_groups=20, seed=1))
+
+
+def figure8_db():
+    return make_two_table(
+        TwoTableSpec(n_a=2000, n_b=20, a_groups=1800, match_fraction=0.01, seed=2)
+    )
+
+
+class TestCostPolicy:
+    def test_chooses_eager_in_figure1_regime(self):
+        choice = Planner(figure1_db()).choose(two_table_query())
+        assert choice.strategy == "eager"
+        assert choice.speedup is not None and choice.speedup > 1
+
+    def test_chooses_standard_in_figure8_regime(self):
+        choice = Planner(figure8_db()).choose(two_table_query())
+        assert choice.strategy == "standard"
+
+    def test_chosen_plans_always_agree_on_results(self):
+        for db in (figure1_db(), figure8_db()):
+            choice = Planner(db).choose(two_table_query())
+            chosen, __ = execute(db, choice.plan)
+            from repro.core.transform import build_standard_plan
+
+            reference, __ = execute(db, build_standard_plan(two_table_query()))
+            assert chosen.equals_multiset(reference)
+
+
+class TestPolicies:
+    def test_always_eager(self):
+        choice = Planner(figure8_db(), policy="always_eager").choose(two_table_query())
+        assert choice.strategy == "eager"  # even where it loses
+
+    def test_never_eager(self):
+        choice = Planner(figure1_db(), policy="never_eager").choose(two_table_query())
+        assert choice.strategy == "standard"
+        assert choice.eager_cost is not None  # still computed for the record
+
+    def test_unknown_policy(self):
+        with pytest.raises(PlanningError):
+            Planner(figure1_db(), policy="vibes")
+
+
+class TestInvalidTransformation:
+    def test_falls_back_to_standard(self):
+        """No key on B: the planner must not even consider eager."""
+        from repro.catalog import Column, Database, TableSchema
+        from repro.sqltypes import INTEGER, VARCHAR
+
+        db = Database()
+        db.create_table(
+            TableSchema("B", [Column("BId", INTEGER), Column("Name", VARCHAR(30))])
+        )
+        db.create_table(
+            TableSchema(
+                "A",
+                [Column("AId", INTEGER), Column("BRef", INTEGER), Column("Val", INTEGER)],
+            )
+        )
+        choice = Planner(db).choose(two_table_query())
+        assert choice.strategy == "standard"
+        assert choice.eager_cost is None
+        assert not choice.decision.valid

@@ -1,0 +1,211 @@
+"""Binding: name resolution, query-class checks, DDL execution."""
+
+import pytest
+
+from repro.catalog.catalog import Database
+from repro.errors import BindingError, ConstraintViolation
+from repro.parser.binder import bind_select, execute_statement
+from repro.parser.parser import parse_script, parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    for sql in parse_script(
+        """
+        CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30));
+        CREATE TABLE Employee (
+          EmpID INTEGER PRIMARY KEY,
+          LastName VARCHAR(30),
+          DeptID INTEGER REFERENCES Department (DeptID));
+        """
+    ):
+        execute_statement(database, sql)
+    return database
+
+
+class TestNameResolution:
+    def test_qualified_names_verified(self, db):
+        stmt = parse_statement(
+            "SELECT D.Name, COUNT(E.EmpID) FROM Employee E, Department D "
+            "WHERE E.DeptID = D.DeptID GROUP BY D.Name"
+        )
+        flat = bind_select(db, stmt)
+        assert flat.group_by == ("D.Name",)
+        assert flat.bindings[0].alias == "E"
+
+    def test_unqualified_unique_column_resolves(self, db):
+        stmt = parse_statement(
+            "SELECT Name FROM Department D GROUP BY Name"
+        )
+        flat = bind_select(db, stmt)
+        assert flat.group_by == ("D.Name",)
+
+    def test_ambiguous_column_rejected(self, db):
+        stmt = parse_statement(
+            "SELECT DeptID FROM Employee E, Department D GROUP BY DeptID"
+        )
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+    def test_unknown_column_rejected(self, db):
+        stmt = parse_statement("SELECT D.Bogus FROM Department D")
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+    def test_unknown_correlation_rejected(self, db):
+        stmt = parse_statement("SELECT X.Name FROM Department D")
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+    def test_duplicate_correlation_rejected(self, db):
+        stmt = parse_statement("SELECT D.Name FROM Department D, Employee D")
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+    def test_view_in_from_deferred(self, db):
+        db.create_view("V", object())
+        stmt = parse_statement("SELECT V.x FROM V")
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+
+class TestQueryClassRules:
+    def test_select_column_must_be_grouped(self, db):
+        stmt = parse_statement(
+            "SELECT D.Name, COUNT(E.EmpID) FROM Employee E, Department D "
+            "WHERE E.DeptID = D.DeptID GROUP BY D.DeptID"
+        )
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+    def test_aggregate_names(self, db):
+        stmt = parse_statement(
+            "SELECT D.Name, COUNT(E.EmpID) AS headcount "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name"
+        )
+        flat = bind_select(db, stmt)
+        assert flat.aggregates[0].name == "headcount"
+
+    def test_synthesized_aggregate_name(self, db):
+        stmt = parse_statement(
+            "SELECT COUNT(E.EmpID) FROM Employee E"
+        )
+        flat = bind_select(db, stmt)
+        assert flat.aggregates[0].name == "COUNT(E.EmpID)"
+
+    def test_mixed_bare_columns_without_group_by_rejected(self, db):
+        stmt = parse_statement(
+            "SELECT D.Name, COUNT(D.DeptID) FROM Department D"
+        )
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+    def test_computed_select_item_rejected(self, db):
+        stmt = parse_statement("SELECT D.DeptID + 1 FROM Department D")
+        with pytest.raises(BindingError):
+            bind_select(db, stmt)
+
+
+class TestDDLExecution:
+    def test_figure5_roundtrip(self):
+        """Parse and execute the full Figure 5 DDL, then watch every
+        constraint class fire."""
+        db = Database()
+        for stmt in parse_script(
+            """
+            CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100;
+            CREATE TABLE Dept (DeptID SMALLINT PRIMARY KEY, Name VARCHAR(30));
+            CREATE TABLE EmployeeInfo (
+              EmpID INTEGER CHECK (EmpID > 0),
+              EmpSID INTEGER UNIQUE,
+              LastName CHARACTER(30) NOT NULL,
+              FirstName CHARACTER(30),
+              DeptID DepIdType CHECK (DeptID > 5),
+              PRIMARY KEY (EmpID),
+              FOREIGN KEY (DeptID) REFERENCES Dept);
+            INSERT INTO Dept VALUES (7, 'Eng');
+            INSERT INTO EmployeeInfo VALUES (1, 100, 'Smith', 'Al', 7);
+            """
+        ):
+            execute_statement(db, stmt)
+        assert len(db.table("EmployeeInfo")) == 1
+
+        # Column CHECK: EmpID > 0.
+        with pytest.raises(ConstraintViolation):
+            execute_statement(
+                db,
+                parse_statement(
+                    "INSERT INTO EmployeeInfo VALUES (0, 101, 'X', 'Y', 7)"
+                ),
+            )
+        # Domain CHECK: DeptID < 100.
+        with pytest.raises(ConstraintViolation):
+            execute_statement(
+                db,
+                parse_statement(
+                    "INSERT INTO EmployeeInfo VALUES (2, 102, 'X', 'Y', 150)"
+                ),
+            )
+        # NOT NULL on LastName.
+        with pytest.raises(ConstraintViolation):
+            execute_statement(
+                db,
+                parse_statement(
+                    "INSERT INTO EmployeeInfo VALUES (3, 103, NULL, 'Y', 7)"
+                ),
+            )
+        # UNIQUE on EmpSID.
+        with pytest.raises(ConstraintViolation):
+            execute_statement(
+                db,
+                parse_statement(
+                    "INSERT INTO EmployeeInfo VALUES (4, 100, 'Z', 'Y', 7)"
+                ),
+            )
+        # PRIMARY KEY on EmpID.
+        with pytest.raises(ConstraintViolation):
+            execute_statement(
+                db,
+                parse_statement(
+                    "INSERT INTO EmployeeInfo VALUES (1, 105, 'Z', 'Y', 7)"
+                ),
+            )
+        # FOREIGN KEY: DeptID 9 does not exist (and passes checks: 5 < 9 < 100).
+        with pytest.raises(ConstraintViolation):
+            execute_statement(
+                db,
+                parse_statement(
+                    "INSERT INTO EmployeeInfo VALUES (5, 106, 'Z', 'Y', 9)"
+                ),
+            )
+
+    def test_create_assertion_executes(self):
+        db = Database()
+        execute_statement(db, parse_statement("CREATE TABLE T (a INTEGER)"))
+        execute_statement(
+            db, parse_statement("CREATE ASSERTION small CHECK (T.a < 10)")
+        )
+        execute_statement(db, parse_statement("INSERT INTO T VALUES (5)"))
+        with pytest.raises(ConstraintViolation):
+            execute_statement(db, parse_statement("INSERT INTO T VALUES (50)"))
+
+    def test_insert_named_columns_defaults_null(self, db):
+        execute_statement(
+            db, parse_statement("INSERT INTO Employee (EmpID) VALUES (1)")
+        )
+        row = db.table("Employee").rows()[0]
+        from repro.sqltypes.values import is_null
+
+        assert is_null(row.values[1])
+
+    def test_create_view_registers(self, db):
+        execute_statement(
+            db,
+            parse_statement(
+                "CREATE VIEW V AS SELECT D.DeptID, COUNT(D.Name) "
+                "FROM Department D GROUP BY D.DeptID"
+            ),
+        )
+        assert "V" in db.views

@@ -1,0 +1,93 @@
+"""Lexer: token shapes, strings, comments, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parser.lexer import tokenize
+from repro.parser.tokens import TokenType
+
+
+def kinds(text):
+    return [(t.type, t.text) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_uppercased(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("DeptID") == [(TokenType.IDENTIFIER, "DeptID")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [
+            (TokenType.INTEGER, "42"),
+            (TokenType.FLOAT, "3.14"),
+        ]
+
+    def test_integer_dot_identifier_not_float(self):
+        tokens = kinds("T.a")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "T"),
+            (TokenType.PUNCTUATION, "."),
+            (TokenType.IDENTIFIER, "a"),
+        ]
+
+    def test_operators(self):
+        assert kinds("= <> <= >= < > + - * /") == [
+            (TokenType.OPERATOR, op)
+            for op in ("=", "<>", "<=", ">=", "<", ">", "+", "-", "*", "/")
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , ;") == [
+            (TokenType.PUNCTUATION, p) for p in ("(", ")", ",", ";")
+        ]
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'dragon'") == [(TokenType.STRING, "dragon")]
+
+    def test_quote_escape(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+
+class TestHostVariables:
+    def test_host_variable(self):
+        assert kinds(":machine") == [(TokenType.HOST_VARIABLE, "machine")]
+
+    def test_bad_host_variable(self):
+        with pytest.raises(ParseError):
+            tokenize(": 5")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert kinds("SELECT -- a comment\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.INTEGER, "1"),
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  bb")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a ? b")

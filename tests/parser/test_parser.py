@@ -1,0 +1,200 @@
+"""Parser: the query class of Section 3 plus the Figure 5 DDL."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expressions.ast import Aggregate, And, ColumnRef, Comparison, Or
+from repro.parser.ast_nodes import (
+    CreateAssertionStatement,
+    CreateDomainStatement,
+    CreateTableStatement,
+    CreateViewStatement,
+    InsertStatement,
+    SelectStatement,
+)
+from repro.parser.parser import parse_script, parse_statement
+from repro.sqltypes.values import NULL
+
+
+class TestSelect:
+    def test_example1_query(self):
+        stmt = parse_statement(
+            "SELECT D.DeptID, D.Name, COUNT(E.EmpID) "
+            "FROM Employee E, Department D "
+            "WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.DeptID, D.Name"
+        )
+        assert isinstance(stmt, SelectStatement)
+        assert len(stmt.items) == 3
+        assert isinstance(stmt.items[2].expression, Aggregate)
+        assert stmt.from_tables[0].name == "Employee"
+        assert stmt.from_tables[0].alias == "E"
+        assert isinstance(stmt.where, Comparison)
+        assert [c.qualified for c in stmt.group_by] == ["D.DeptID", "D.Name"]
+
+    def test_distinct_and_all(self):
+        assert parse_statement("SELECT DISTINCT T.a FROM T").distinct
+        assert not parse_statement("SELECT ALL T.a FROM T").distinct
+        assert not parse_statement("SELECT T.a FROM T").distinct
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT T.a AS x, T.b y FROM Tab AS T")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_tables[0].alias == "T"
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM T")
+        aggregate = stmt.items[0].expression
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.argument is None
+
+    def test_count_distinct(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT T.a) FROM T")
+        assert stmt.items[0].expression.distinct
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT SUM(*) FROM T")
+
+    def test_aggregate_arithmetic(self):
+        """The paper's F(AA): COUNT(a) + SUM(b + c)."""
+        stmt = parse_statement("SELECT COUNT(T.a) + SUM(T.b + T.c) FROM T")
+        text = str(stmt.items[0].expression)
+        assert "COUNT" in text and "SUM" in text
+
+    def test_where_precedence(self):
+        stmt = parse_statement(
+            "SELECT T.a FROM T WHERE T.a = 1 OR T.b = 2 AND T.c = 3"
+        )
+        assert isinstance(stmt.where, Or)  # AND binds tighter
+        assert isinstance(stmt.where.right, And)
+
+    def test_having(self):
+        stmt = parse_statement(
+            "SELECT T.a FROM T GROUP BY T.a HAVING T.a > 1"
+        )
+        assert stmt.having is not None
+
+    def test_is_null(self):
+        stmt = parse_statement("SELECT T.a FROM T WHERE T.a IS NOT NULL")
+        assert "IS NOT NULL" in str(stmt.where)
+
+    def test_host_variable(self):
+        stmt = parse_statement("SELECT T.a FROM T WHERE T.m = :machine")
+        assert ":machine" in str(stmt.where)
+
+    def test_string_and_null_literals(self):
+        stmt = parse_statement(
+            "SELECT T.a FROM T WHERE T.m = 'dragon' AND T.x = NULL"
+        )
+        assert "'dragon'" in str(stmt.where)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT T.a FROM T banana extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT T.a WHERE T.a = 1")
+
+
+class TestFigure5DDL:
+    """The paper's Figure 5, verbatim shapes (bare CHECK included)."""
+
+    def test_create_domain_bare_check(self):
+        stmt = parse_statement(
+            "CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100"
+        )
+        assert isinstance(stmt, CreateDomainStatement)
+        assert stmt.type_name == "SMALLINT"
+        assert stmt.check is not None
+        assert "VALUE" in str(stmt.check)
+
+    def test_figure5_table(self):
+        stmt = parse_statement(
+            """
+            CREATE TABLE EmployeeInfo (
+              EmpID INTEGER CHECK (EmpID > 0),
+              EmpSID INTEGER UNIQUE,
+              LastName CHARACTER(30) NOT NULL,
+              FirstName CHARACTER(30),
+              DeptID DepIdType CHECK (DeptID > 5),
+              PRIMARY KEY (EmpID),
+              FOREIGN KEY (DeptID) REFERENCES Dept)
+            """
+        )
+        assert isinstance(stmt, CreateTableStatement)
+        names = [c.name for c in stmt.columns]
+        assert names == ["EmpID", "EmpSID", "LastName", "FirstName", "DeptID"]
+        assert stmt.columns[0].check is not None
+        assert stmt.columns[1].unique
+        assert stmt.columns[2].not_null
+        assert stmt.columns[4].type_name == "DepIdType"  # domain reference
+        kinds = [c.kind for c in stmt.constraints]
+        assert kinds == ["primary_key", "foreign_key"]
+        assert stmt.constraints[1].references == ("Dept", ())
+
+    def test_inline_column_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE T (a INTEGER PRIMARY KEY, b INTEGER REFERENCES S (id))"
+        )
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].references == ("S", ("id",))
+
+    def test_table_level_check_and_unique(self):
+        stmt = parse_statement(
+            "CREATE TABLE T (a INTEGER, b INTEGER, UNIQUE (a, b), CHECK (a < b))"
+        )
+        kinds = [c.kind for c in stmt.constraints]
+        assert kinds == ["unique", "check"]
+
+    def test_create_view(self):
+        stmt = parse_statement(
+            "CREATE VIEW V (x, n) AS SELECT T.a, COUNT(T.b) FROM T GROUP BY T.a"
+        )
+        assert isinstance(stmt, CreateViewStatement)
+        assert stmt.column_names == ("x", "n")
+        assert isinstance(stmt.select, SelectStatement)
+
+    def test_create_assertion(self):
+        stmt = parse_statement("CREATE ASSERTION small CHECK (T.a < 100)")
+        assert isinstance(stmt, CreateAssertionStatement)
+        assert stmt.name == "small"
+
+
+class TestInsert:
+    def test_positional(self):
+        stmt = parse_statement("INSERT INTO T VALUES (1, 'x', NULL)")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.rows == ((1, "x", NULL),)
+
+    def test_multi_row(self):
+        stmt = parse_statement("INSERT INTO T VALUES (1, 2), (3, 4)")
+        assert len(stmt.rows) == 2
+
+    def test_named_columns(self):
+        stmt = parse_statement("INSERT INTO T (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_negative_numbers(self):
+        stmt = parse_statement("INSERT INTO T VALUES (-5, -1.5)")
+        assert stmt.rows == ((-5, -1.5),)
+
+    def test_booleans(self):
+        stmt = parse_statement("INSERT INTO T VALUES (TRUE, FALSE)")
+        assert stmt.rows == ((True, False),)
+
+
+class TestScript:
+    def test_multiple_statements(self):
+        statements = parse_script(
+            "CREATE TABLE T (a INTEGER); INSERT INTO T VALUES (1); "
+            "SELECT T.a FROM T;"
+        )
+        assert len(statements) == 3
+
+    def test_keyword_ish_identifiers(self):
+        """'Usage' (a column in the paper's PrinterAuth) must parse."""
+        stmt = parse_statement("SELECT A.Usage FROM PrinterAuth A")
+        assert stmt.items[0].expression.qualified == "A.Usage"

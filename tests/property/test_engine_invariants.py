@@ -1,0 +1,143 @@
+"""Property-based invariants of the engine substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.ops import AggregateSpec
+from repro.engine.aggregation import hash_group, sort_group
+from repro.engine.dataset import DataSet
+from repro.engine.joins import hash_join, nested_loop_join, sort_merge_join
+from repro.expressions.builder import and_, avg, col, count, count_star, eq, max_, min_, not_, or_, sum_
+from repro.expressions.eval import RowScope, evaluate_predicate
+from repro.expressions.normalize import conjoin, disjoin, to_cnf, to_dnf, to_nnf
+from repro.sqltypes.truth import FALSE, TRUE, UNKNOWN, truth_and, truth_not, truth_or
+from repro.sqltypes.values import NULL
+
+nullable_int = st.one_of(st.just(NULL), st.integers(min_value=0, max_value=4))
+truth_values = st.sampled_from([TRUE, FALSE, UNKNOWN])
+
+
+class TestThreeValuedLogicLaws:
+    @given(a=truth_values, b=truth_values, c=truth_values)
+    def test_associativity(self, a, b, c):
+        assert truth_and(truth_and(a, b), c) is truth_and(a, truth_and(b, c))
+        assert truth_or(truth_or(a, b), c) is truth_or(a, truth_or(b, c))
+
+    @given(a=truth_values, b=truth_values)
+    def test_absorption(self, a, b):
+        assert truth_and(a, truth_or(a, b)) is a
+        assert truth_or(a, truth_and(a, b)) is a
+
+    @given(a=truth_values)
+    def test_double_negation(self, a):
+        assert truth_not(truth_not(a)) is a
+
+    @given(a=truth_values, b=truth_values, c=truth_values)
+    def test_distributivity(self, a, b, c):
+        assert truth_and(a, truth_or(b, c)) is truth_or(
+            truth_and(a, b), truth_and(a, c)
+        )
+
+
+def random_predicate():
+    """Random boolean expressions over T.a / T.b with constants 0-3."""
+    atoms = st.builds(
+        eq,
+        st.sampled_from([col("T.a"), col("T.b")]),
+        st.sampled_from([col("T.a"), col("T.b"), 0, 1, 2]),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.builds(and_, children, children),
+            st.builds(or_, children, children),
+            st.builds(not_, children),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestNormalizationSemantics:
+    @given(
+        predicate=random_predicate(),
+        a=nullable_int,
+        b=nullable_int,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_nnf_preserves_3vl_truth(self, predicate, a, b):
+        scope = RowScope({"T.a": a, "T.b": b})
+        assert evaluate_predicate(predicate, scope) is evaluate_predicate(
+            to_nnf(predicate), scope
+        )
+
+    @given(
+        predicate=random_predicate(),
+        a=nullable_int,
+        b=nullable_int,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cnf_dnf_preserve_3vl_truth(self, predicate, a, b):
+        scope = RowScope({"T.a": a, "T.b": b})
+        expected = evaluate_predicate(predicate, scope)
+        cnf = conjoin([disjoin(list(clause)) for clause in to_cnf(predicate)])
+        dnf = disjoin([conjoin(list(component)) for component in to_dnf(predicate)])
+        assert evaluate_predicate(cnf, scope) is expected
+        assert evaluate_predicate(dnf, scope) is expected
+
+
+rows_strategy = st.lists(
+    st.tuples(nullable_int, nullable_int), max_size=12
+)
+
+
+class TestAggregationInvariants:
+    @given(rows=rows_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_hash_and_sort_agree(self, rows):
+        ds = DataSet(("T.g", "T.v"), rows)
+        specs = [
+            AggregateSpec("n", count_star()),
+            AggregateSpec("c", count("T.v")),
+            AggregateSpec("s", sum_("T.v")),
+            AggregateSpec("lo", min_("T.v")),
+            AggregateSpec("hi", max_("T.v")),
+        ]
+        hashed, __ = hash_group(ds, ("T.g",), specs)
+        sorted_, __ = sort_group(ds, ("T.g",), specs)
+        assert hashed.equals_multiset(sorted_)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_group_count_bounds(self, rows):
+        ds = DataSet(("T.g", "T.v"), rows)
+        result, __ = hash_group(ds, ("T.g",), [AggregateSpec("n", count_star())])
+        assert result.cardinality <= ds.cardinality
+        # Row counts per group sum back to the input.
+        assert sum(row[1] for row in result.rows) == ds.cardinality
+
+
+class TestJoinInvariants:
+    @given(
+        left=st.lists(st.tuples(nullable_int, nullable_int), max_size=8),
+        right=st.lists(st.tuples(nullable_int, nullable_int), max_size=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_algorithms_agree(self, left, right):
+        left_ds = DataSet(("L.k", "L.v"), left)
+        right_ds = DataSet(("R.k", "R.w"), right)
+        condition = eq(col("L.k"), col("R.k"))
+        nl, __ = nested_loop_join(left_ds, right_ds, condition)
+        hj, __ = hash_join(left_ds, right_ds, condition)
+        smj, __ = sort_merge_join(left_ds, right_ds, condition)
+        assert nl.equals_multiset(hj)
+        assert nl.equals_multiset(smj)
+
+    @given(
+        left=st.lists(st.tuples(nullable_int,), max_size=8),
+        right=st.lists(st.tuples(nullable_int,), max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_join_bounded_by_product(self, left, right):
+        left_ds = DataSet(("L.k",), left)
+        right_ds = DataSet(("R.k",), right)
+        result, __ = hash_join(left_ds, right_ds, eq(col("L.k"), col("R.k")))
+        assert result.cardinality <= len(left) * len(right)

@@ -1,0 +1,79 @@
+"""SELECT * expansion and assorted SQL-surface edges."""
+
+import pytest
+
+from repro.errors import BindingError, ParseError
+from repro.session import Session
+
+
+@pytest.fixture
+def session():
+    s = Session()
+    s.execute("CREATE TABLE T (a INTEGER PRIMARY KEY, b VARCHAR(5))")
+    s.execute("CREATE TABLE S (a INTEGER PRIMARY KEY, c INTEGER)")
+    s.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')")
+    s.execute("INSERT INTO S VALUES (1, 10), (2, 20)")
+    return s
+
+
+class TestSelectStar:
+    def test_single_table(self, session):
+        result = session.query("SELECT * FROM T")
+        assert result.columns == ("T.a", "T.b")
+        assert result.cardinality == 2
+
+    def test_join_expands_all_tables_in_from_order(self, session):
+        result = session.query("SELECT * FROM T, S WHERE T.a = S.a")
+        assert result.columns == ("T.a", "T.b", "S.a", "S.c")
+        assert result.cardinality == 2
+
+    def test_alias_expansion(self, session):
+        result = session.query("SELECT * FROM T X")
+        assert result.columns == ("X.a", "X.b")
+
+    def test_star_with_other_items_rejected(self, session):
+        with pytest.raises(BindingError):
+            session.query("SELECT *, T.a FROM T")
+
+    def test_star_with_where(self, session):
+        result = session.query("SELECT * FROM T WHERE T.a = 2")
+        assert result.rows == [(2, "y")]
+
+    def test_star_distinct(self, session):
+        session.execute("CREATE TABLE D (v INTEGER)")
+        session.execute("INSERT INTO D VALUES (1), (1), (2)")
+        result = session.query("SELECT DISTINCT * FROM D")
+        assert result.cardinality == 2
+
+
+class TestParserErrorEdges:
+    def test_update_requires_set(self, session):
+        with pytest.raises(ParseError):
+            session.execute("UPDATE T a = 1")
+
+    def test_delete_requires_from(self, session):
+        with pytest.raises(ParseError):
+            session.execute("DELETE T")
+
+    def test_in_requires_parenthesis(self, session):
+        with pytest.raises(ParseError):
+            session.query("SELECT T.a FROM T WHERE T.a IN 1, 2")
+
+    def test_between_requires_and(self, session):
+        with pytest.raises(ParseError):
+            session.query("SELECT T.a FROM T WHERE T.a BETWEEN 1 OR 2")
+
+    def test_like_requires_string(self, session):
+        with pytest.raises(ParseError):
+            session.query("SELECT T.a FROM T WHERE T.b LIKE 5")
+
+    def test_order_by_direction_keywords(self, session):
+        result = session.query("SELECT T.a FROM T ORDER BY T.a ASC")
+        assert [row[0] for row in result.rows] == [1, 2]
+
+    def test_error_carries_position(self):
+        from repro.parser.parser import parse_statement
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT T.a\nFROM T WHERE ???")
+        assert excinfo.value.line == 2

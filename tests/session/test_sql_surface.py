@@ -1,0 +1,184 @@
+"""HAVING, ORDER BY, and the extended predicates, end to end through SQL."""
+
+import pytest
+
+from repro.session import Session
+from repro.sqltypes.values import NULL
+
+SETUP = [
+    "CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30))",
+    """CREATE TABLE Employee (
+        EmpID INTEGER PRIMARY KEY,
+        LastName VARCHAR(30),
+        Salary INTEGER,
+        DeptID INTEGER REFERENCES Department (DeptID))""",
+    "INSERT INTO Department VALUES (1, 'Eng'), (2, 'Sales'), (3, 'HR')",
+    """INSERT INTO Employee VALUES
+        (1, 'Alpha', 100, 1), (2, 'Beta', 200, 1), (3, 'Gamma', 300, 1),
+        (4, 'Delta', 150, 2), (5, 'Edison', 250, 2),
+        (6, 'Zeta', 50, 3)""",
+]
+
+
+@pytest.fixture
+def session():
+    s = Session()
+    for sql in SETUP:
+        s.execute(sql)
+    return s
+
+
+class TestHaving:
+    def test_having_on_select_aggregate(self, session):
+        result = session.query(
+            "SELECT D.Name, COUNT(E.EmpID) AS n "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name HAVING COUNT(E.EmpID) > 1"
+        )
+        names = sorted(row[0] for row in result.rows)
+        assert names == ["Eng", "Sales"]
+
+    def test_having_on_hidden_aggregate(self, session):
+        """The HAVING aggregate is not in the SELECT list: a hidden spec
+        is computed and projected away."""
+        result = session.query(
+            "SELECT D.Name, COUNT(E.EmpID) AS n "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name HAVING SUM(E.Salary) > 400"
+        )
+        assert sorted(row[0] for row in result.rows) == ["Eng"]
+        assert len(result.columns) == 2  # the hidden SUM is gone
+
+    def test_having_on_grouping_column(self, session):
+        result = session.query(
+            "SELECT D.Name, COUNT(E.EmpID) AS n "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name HAVING D.Name = 'Sales'"
+        )
+        assert [row[0] for row in result.rows] == ["Sales"]
+
+    def test_having_mixed_condition(self, session):
+        result = session.query(
+            "SELECT D.Name, SUM(E.Salary) AS total "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name "
+            "HAVING SUM(E.Salary) > 100 AND COUNT(E.EmpID) < 3"
+        )
+        assert sorted(row[0] for row in result.rows) == ["Sales"]
+
+    def test_having_blocks_eager_but_executes(self, session):
+        report = session.report(
+            "SELECT D.Name, COUNT(E.EmpID) AS n "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name HAVING COUNT(E.EmpID) > 1"
+        )
+        assert report.strategy == "standard"
+        assert not report.choice.decision.valid
+        assert report.result.cardinality == 2
+
+    def test_having_single_table(self, session):
+        result = session.query(
+            "SELECT E.DeptID, COUNT(E.EmpID) AS n FROM Employee E "
+            "GROUP BY E.DeptID HAVING COUNT(E.EmpID) >= 2"
+        )
+        assert result.cardinality == 2
+
+
+class TestOrderBy:
+    def test_ascending(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E WHERE E.DeptID = 1 "
+            "ORDER BY E.LastName"
+        )
+        assert [row[0] for row in result.rows] == ["Alpha", "Beta", "Gamma"]
+
+    def test_descending(self, session):
+        result = session.query(
+            "SELECT E.LastName, E.Salary FROM Employee E "
+            "ORDER BY E.Salary DESC"
+        )
+        salaries = [row[1] for row in result.rows]
+        assert salaries == sorted(salaries, reverse=True)
+
+    def test_order_by_alias(self, session):
+        result = session.query(
+            "SELECT D.Name, COUNT(E.EmpID) AS n "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name ORDER BY n DESC"
+        )
+        counts = [row[1] for row in result.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_mixed_directions(self, session):
+        result = session.query(
+            "SELECT E.DeptID, E.LastName FROM Employee E "
+            "ORDER BY E.DeptID DESC, E.LastName ASC"
+        )
+        rows = result.rows
+        assert rows[0][0] == 3
+        eng_names = [r[1] for r in rows if r[0] == 1]
+        assert eng_names == sorted(eng_names)
+
+    def test_order_with_group_and_having(self, session):
+        result = session.query(
+            "SELECT D.Name, SUM(E.Salary) AS total "
+            "FROM Employee E, Department D WHERE E.DeptID = D.DeptID "
+            "GROUP BY D.Name HAVING SUM(E.Salary) > 100 "
+            "ORDER BY total"
+        )
+        totals = [row[1] for row in result.rows]
+        assert totals == sorted(totals)
+
+
+class TestExtendedPredicatesInSQL:
+    def test_in_list(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E WHERE E.DeptID IN (2, 3)"
+        )
+        assert result.cardinality == 3
+
+    def test_not_in(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E WHERE E.DeptID NOT IN (1)"
+        )
+        assert result.cardinality == 3
+
+    def test_between(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E "
+            "WHERE E.Salary BETWEEN 150 AND 250"
+        )
+        assert sorted(row[0] for row in result.rows) == ["Beta", "Delta", "Edison"]
+
+    def test_not_between(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E "
+            "WHERE E.Salary NOT BETWEEN 150 AND 250"
+        )
+        assert sorted(row[0] for row in result.rows) == ["Alpha", "Gamma", "Zeta"]
+
+    def test_like(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E WHERE E.LastName LIKE '%a'"
+        )
+        assert sorted(row[0] for row in result.rows) == [
+            "Alpha", "Beta", "Delta", "Gamma", "Zeta",
+        ]
+
+    def test_like_underscore(self, session):
+        result = session.query(
+            "SELECT E.LastName FROM Employee E WHERE E.LastName LIKE '_eta'"
+        )
+        assert sorted(row[0] for row in result.rows) == ["Beta", "Zeta"]
+
+    def test_in_with_group_by_still_transformable(self, session):
+        """IN on the R2 side doesn't block the transformation — it simply
+        contributes nothing to TestFD's closure."""
+        report = session.report(
+            "SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS n "
+            "FROM Employee E, Department D "
+            "WHERE E.DeptID = D.DeptID AND D.DeptID IN (1, 2) "
+            "GROUP BY D.DeptID, D.Name"
+        )
+        assert report.choice.decision.valid
+        assert report.result.cardinality == 2

@@ -1,0 +1,122 @@
+"""SQL data type validation and coercion."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.sqltypes.datatypes import (
+    BOOLEAN,
+    CHAR,
+    DATE,
+    DECIMAL,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    VARCHAR,
+    type_from_name,
+)
+from repro.sqltypes.values import NULL, is_null
+
+
+class TestIntegerTypes:
+    def test_integer_accepts(self):
+        assert INTEGER.validate(42) == 42
+        assert INTEGER.validate(-(2**31)) == -(2**31)
+
+    def test_integer_range(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(2**31)
+
+    def test_integer_rejects_bool_and_float(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(1.5)
+
+    def test_smallint_range(self):
+        assert SMALLINT.validate(32767) == 32767
+        with pytest.raises(TypeMismatchError):
+            SMALLINT.validate(32768)
+
+    def test_null_passes_every_type(self):
+        for datatype in (INTEGER, SMALLINT, FLOAT, BOOLEAN, DATE, CHAR(5), VARCHAR(5), DECIMAL(5, 2)):
+            assert is_null(datatype.validate(NULL))
+
+
+class TestFloatAndDecimal:
+    def test_float_coerces_int(self):
+        assert FLOAT.validate(3) == 3.0
+        assert isinstance(FLOAT.validate(3), float)
+
+    def test_decimal_from_int_and_float(self):
+        assert DECIMAL(10, 2).validate(3) == decimal.Decimal(3)
+        assert DECIMAL(10, 2).validate(3.25) == decimal.Decimal("3.25")
+
+    def test_decimal_precision_overflow(self):
+        with pytest.raises(TypeMismatchError):
+            DECIMAL(3).validate(12345)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate("3.0")
+
+
+class TestStringTypes:
+    def test_char_length(self):
+        assert CHAR(3).validate("ab") == "ab"
+        with pytest.raises(TypeMismatchError):
+            CHAR(3).validate("abcd")
+
+    def test_varchar_length(self):
+        assert VARCHAR(5).validate("abcde") == "abcde"
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(5).validate("abcdef")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(5).validate(5)
+
+
+class TestBooleanAndDate:
+    def test_boolean(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(1)
+
+    def test_date_from_date_and_iso(self):
+        today = datetime.date(2024, 5, 1)
+        assert DATE.validate(today) == today
+        assert DATE.validate("2024-05-01") == today
+
+    def test_date_rejects_datetime_and_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            DATE.validate(datetime.datetime(2024, 5, 1))
+        with pytest.raises(TypeMismatchError):
+            DATE.validate("not-a-date")
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name,params,expected",
+        [
+            ("INTEGER", (), "INTEGER"),
+            ("int", (), "INTEGER"),
+            ("SMALLINT", (), "SMALLINT"),
+            ("CHAR", (10,), "CHARACTER(10)"),
+            ("CHARACTER", (30,), "CHARACTER(30)"),
+            ("VARCHAR", (99,), "VARCHAR(99)"),
+            ("DECIMAL", (8, 2), "DECIMAL(8,2)"),
+            ("NUMERIC", (6,), "DECIMAL(6,0)"),
+            ("FLOAT", (), "FLOAT"),
+            ("BOOLEAN", (), "BOOLEAN"),
+            ("DATE", (), "DATE"),
+        ],
+    )
+    def test_resolution(self, name, params, expected):
+        assert type_from_name(name, *params).type_name == expected
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("BLOB")

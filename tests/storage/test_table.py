@@ -1,0 +1,99 @@
+"""Storage: multiset tables, RowIDs, insert validation."""
+
+import pytest
+
+from repro.catalog.constraints import PrimaryKeyConstraint
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import CatalogError, TypeMismatchError
+from repro.sqltypes.datatypes import INTEGER, VARCHAR
+from repro.sqltypes.values import NULL, is_null
+from repro.storage.table import Table
+
+
+def make_table():
+    return Table(
+        TableSchema(
+            "T",
+            [Column("a", INTEGER), Column("b", VARCHAR(10))],
+        )
+    )
+
+
+class TestInsert:
+    def test_positional(self):
+        table = make_table()
+        row = table.insert([1, "x"])
+        assert row.values == (1, "x")
+
+    def test_mapping_with_defaults(self):
+        table = make_table()
+        row = table.insert({"a": 1})
+        assert row.values[0] == 1
+        assert is_null(row.values[1])
+
+    def test_mapping_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_table().insert({"z": 1})
+
+    def test_wrong_arity(self):
+        with pytest.raises(CatalogError):
+            make_table().insert([1])
+
+    def test_type_validation(self):
+        with pytest.raises(TypeMismatchError):
+            make_table().insert(["not-int", "x"])
+
+    def test_duplicates_allowed_without_keys(self):
+        """Tables are multisets: identical rows coexist."""
+        table = make_table()
+        table.insert([1, "x"])
+        table.insert([1, "x"])
+        assert len(table) == 2
+
+    def test_insert_many(self):
+        table = make_table()
+        assert table.insert_many([[1, "a"], [2, "b"]]) == 2
+        assert len(table) == 2
+
+
+class TestRowIds:
+    def test_rowids_unique_and_monotonic(self):
+        """Section 4.3's implicit RowID: distinguishes duplicates."""
+        table = make_table()
+        first = table.insert([1, "x"])
+        second = table.insert([1, "x"])
+        assert first.rowid != second.rowid
+        assert second.rowid > first.rowid
+
+    def test_clear_resets(self):
+        table = make_table()
+        table.insert([1, "x"])
+        table.clear()
+        assert len(table) == 0
+        assert table.insert([1, "x"]).rowid == 1
+
+
+class TestKeyLookup:
+    def test_has_key_value_with_index(self):
+        table = Table(
+            TableSchema(
+                "T",
+                [Column("a", INTEGER), Column("b", VARCHAR(5))],
+                [PrimaryKeyConstraint(["a"])],
+            )
+        )
+        table.insert([1, "x"])
+        assert table.has_key_value(("a",), [1])
+        assert not table.has_key_value(("a",), [2])
+
+    def test_has_key_value_without_index(self):
+        table = make_table()
+        table.insert([1, "x"])
+        assert table.has_key_value(("b",), ["x"])
+        assert not table.has_key_value(("b",), ["y"])
+
+    def test_iteration_yields_rows(self):
+        table = make_table()
+        table.insert([1, "x"])
+        rows = list(table)
+        assert rows[0].values == (1, "x")

@@ -1,0 +1,98 @@
+"""Workload generators: determinism and knob behaviour."""
+
+import pytest
+
+from repro.workloads.generators import (
+    TwoTableSpec,
+    make_two_table,
+    populate_employee_department,
+    populate_example4,
+    populate_printer_accounting,
+    populate_retail,
+)
+from repro.workloads.schemas import (
+    make_employee_department,
+    make_printer_schema,
+    make_retail_star,
+)
+
+
+def rows_of(db, table):
+    return [row.values for row in db.table(table)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        first = make_two_table(TwoTableSpec(n_a=50, n_b=5, a_groups=5, seed=9))
+        second = make_two_table(TwoTableSpec(n_a=50, n_b=5, a_groups=5, seed=9))
+        assert rows_of(first, "A") == rows_of(second, "A")
+
+    def test_different_seed_different_data(self):
+        first = make_two_table(TwoTableSpec(n_a=50, n_b=5, a_groups=5, seed=1))
+        second = make_two_table(TwoTableSpec(n_a=50, n_b=5, a_groups=5, seed=2))
+        assert rows_of(first, "A") != rows_of(second, "A")
+
+    def test_employee_department_deterministic(self):
+        a = make_employee_department()
+        b = make_employee_department()
+        populate_employee_department(a, 30, 5, seed=4)
+        populate_employee_department(b, 30, 5, seed=4)
+        assert rows_of(a, "Employee") == rows_of(b, "Employee")
+
+
+class TestKnobs:
+    def test_sizes(self):
+        db = make_two_table(TwoTableSpec(n_a=123, n_b=7, a_groups=3, seed=0))
+        assert len(db.table("A")) == 123
+        assert len(db.table("B")) == 7
+
+    def test_group_count_bounded(self):
+        db = make_two_table(TwoTableSpec(n_a=200, n_b=5, a_groups=3, seed=0))
+        gkeys = {row.values[1] for row in db.table("A")}
+        assert gkeys <= {1, 2, 3}
+
+    def test_match_fraction_zero_means_all_dangling(self):
+        db = make_two_table(
+            TwoTableSpec(n_a=50, n_b=5, a_groups=5, match_fraction=0.0, seed=0)
+        )
+        brefs = [row.values[2] for row in db.table("A")]
+        assert all(ref > 5 for ref in brefs)
+
+    def test_correlated_brefs_follow_gkey(self):
+        db = make_two_table(
+            TwoTableSpec(n_a=50, n_b=5, a_groups=10, bref_mode="correlated", seed=0)
+        )
+        for row in db.table("A"):
+            __, gkey, bref, __v = row.values
+            assert bref == (gkey % 5) + 1
+
+    def test_example4_selective_join(self):
+        db = populate_example4(n_a=1000, n_b=20, a_groups=900, match_rows=10, seed=1)
+        bids = {row.values[0] for row in db.table("B")}
+        matching = sum(
+            1 for row in db.table("A") if row.values[2] in bids
+        )
+        assert matching < 50  # ≈ 10 expected, loose bound
+
+
+class TestSchemaPopulations:
+    def test_printer_accounting_fk_consistent(self):
+        db = make_printer_schema()
+        populate_printer_accounting(db, n_users=15, n_printers=4, seed=6)
+        printers = {row.values[0] for row in db.table("Printer")}
+        for row in db.table("PrinterAuth"):
+            assert row.values[2] in printers
+
+    def test_printer_accounting_has_dragon_users(self):
+        db = make_printer_schema()
+        populate_printer_accounting(db, n_users=12, n_machines=3, seed=6)
+        machines = {row.values[1] for row in db.table("UserAccount")}
+        assert "dragon" in machines
+
+    def test_retail_sizes_and_fks(self):
+        db = make_retail_star()
+        populate_retail(db, n_sales=40, n_customers=8, n_products=4, n_stores=2, seed=2)
+        assert len(db.table("Sales")) == 40
+        customers = {row.values[0] for row in db.table("Customer")}
+        for row in db.table("Sales"):
+            assert row.values[1] in customers
