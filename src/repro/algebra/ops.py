@@ -118,8 +118,8 @@ class Join(PlanNode):
 
     def label(self) -> str:
         if self.condition is None:
-            return "Join [true]"
-        return f"Join [{self.condition}]"
+            return "Join[true]"
+        return f"Join[{self.condition}]"
 
 
 @dataclass(frozen=True)
@@ -211,10 +211,8 @@ class GroupApply(PlanNode):
         return (self.child,)
 
     def label(self) -> str:
-        parts = [f"GroupBy[{', '.join(self.grouping_columns)}]"]
-        if self.aggregates:
-            parts.append(", ".join(str(a) for a in self.aggregates))
-        return " ".join(parts)
+        aggregates = ", ".join(str(a) for a in self.aggregates)
+        return f"F[{aggregates}] G[{', '.join(self.grouping_columns)}]"
 
 
 @dataclass(frozen=True)

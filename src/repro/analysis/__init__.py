@@ -1,0 +1,53 @@
+"""Static semantic analysis over the SQL2 algebra (the *plan verifier*).
+
+The transformation theory of the paper only pays off if the rewritten plan
+E2 is provably equivalent to E1 — so this package checks plans *without
+executing them* and reports typed :class:`~repro.analysis.diagnostics.Diagnostic`
+records (rule id, severity, plan path, message, fix hint).
+
+Layers:
+
+* :mod:`repro.analysis.schema` — output-schema inference for every
+  operator of :mod:`repro.algebra.ops` (typed, nullability-aware);
+* :mod:`repro.analysis.typecheck` — expression type checking against an
+  inferred schema, including 3VL/null-literal hazards;
+* :mod:`repro.analysis.verifier` — the analysis passes over a plan tree
+  (scope resolution, grouped-table discipline, duplicate-sensitive
+  aggregate pushdown, null-safety, typing);
+* :mod:`repro.analysis.certificates` — machine-checkable *rewrite
+  certificates* issued by :func:`repro.core.transform.transform` and
+  independently re-validated by :func:`audit_certificate`;
+* :mod:`repro.analysis.linter` — drives the analyzer over SQL scripts and
+  the built-in workloads (the ``repro lint`` CLI).
+"""
+
+from repro.analysis.certificates import (
+    RewriteCertificate,
+    attach_certificate,
+    audit_certificate,
+    get_certificate,
+    issue_certificate,
+)
+from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+from repro.analysis.linter import LintReport, lint_sql, lint_workloads
+from repro.analysis.schema import ColumnInfo, PlanSchema, infer_schema
+from repro.analysis.verifier import analyze_plan, analyze_query
+
+__all__ = [
+    "RULES",
+    "ColumnInfo",
+    "Diagnostic",
+    "LintReport",
+    "PlanSchema",
+    "RewriteCertificate",
+    "Severity",
+    "analyze_plan",
+    "analyze_query",
+    "attach_certificate",
+    "audit_certificate",
+    "get_certificate",
+    "infer_schema",
+    "issue_certificate",
+    "lint_sql",
+    "lint_workloads",
+]

@@ -1,0 +1,287 @@
+"""``repro lint``: static analysis of SQL scripts without executing queries.
+
+:func:`lint_sql` runs a script's DDL/DML into a scratch database to build
+the catalog, then *statically* analyzes every SELECT: the standard (E1)
+plan always, and — when TestFD proves the rewrite valid — the eager (E2)
+plan together with its freshly issued and audited certificate.  No query
+is executed; INSERTs do run (the linter needs the catalog, and constraint
+violations in the script's own data are worth surfacing).
+
+Statements that fail to parse or bind are reported as rule ``L601`` with
+the statement index, and linting continues with the next statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink, Severity
+from repro.catalog.catalog import Database
+from repro.errors import ReproError, TransformationError
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting one SQL script."""
+
+    statements: int = 0
+    selects: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity diagnostics (warnings do not fail a lint)."""
+        return not any(
+            d.severity >= Severity.ERROR for d in self.diagnostics
+        )
+
+    def render(self) -> str:
+        from repro.analysis.diagnostics import render_diagnostics
+
+        summary = (
+            f"{self.statements} statements, {self.selects} queries analyzed: "
+        )
+        if not self.diagnostics:
+            return summary + "clean"
+        counts: dict = {}
+        for diagnostic in self.diagnostics:
+            counts[str(diagnostic.severity)] = (
+                counts.get(str(diagnostic.severity), 0) + 1
+            )
+        breakdown = ", ".join(
+            f"{count} {name}" for name, count in sorted(counts.items())
+        )
+        return summary + breakdown + "\n" + render_diagnostics(self.diagnostics)
+
+
+def _analyze_select(
+    database: Database,
+    statement: "object",
+    sink: DiagnosticSink,
+    where: str,
+    min_severity: Severity,
+) -> None:
+    """Statically analyze one bound SELECT (E1 always, E2 when valid)."""
+    from repro.analysis.verifier import analyze_plan, analyze_query
+    from repro.core.partition import to_group_by_join_query
+    from repro.core.planbuild import build_join_tree
+    from repro.parser.binder import bind_select
+
+    def emit(diagnostic: Diagnostic) -> None:
+        sink.add(
+            Diagnostic(
+                diagnostic.rule_id,
+                diagnostic.severity,
+                f"{where}/{diagnostic.path}",
+                diagnostic.message,
+                diagnostic.hint,
+            )
+        )
+
+    if any(t.name in database.views for t in statement.from_tables):
+        # A view in FROM: merge it back into one grouped query, the same
+        # normalization the session applies before planning (§8).
+        from repro.core.viewmerge import merge_aggregated_view
+
+        merged = merge_aggregated_view(database, statement)
+        for diagnostic in analyze_query(
+            database, merged, min_severity=min_severity
+        ):
+            emit(diagnostic)
+        return
+
+    flat = bind_select(database, statement)
+    if flat.group_by:
+        try:
+            query = to_group_by_join_query(flat)
+        except TransformationError:
+            query = None
+        if query is not None:
+            for diagnostic in analyze_query(
+                database, query, min_severity=min_severity
+            ):
+                emit(diagnostic)
+            return
+    # Ungrouped (or unpartitionable grouped) query: analyze the plan the
+    # session would run, built the same way but never executed.
+    from repro.algebra.ops import Project
+    from repro.core.having import grouped_plan_with_having
+
+    tree = build_join_tree(flat.bindings, flat.where)
+    if flat.group_by or flat.aggregates:
+        columns = flat.select_group_columns + tuple(
+            spec.name for spec in flat.aggregates
+        )
+        from repro.algebra.ops import Apply, Group
+
+        if flat.group_by:
+            plan = grouped_plan_with_having(
+                tree, flat.group_by, flat.aggregates, flat.having,
+                columns, flat.distinct,
+            )
+        else:
+            plan = Apply(Group(tree, ()), flat.aggregates)
+    else:
+        plan = Project(tree, flat.select_group_columns, flat.distinct)
+    for diagnostic in analyze_plan(plan, database, min_severity=min_severity):
+        emit(diagnostic)
+
+
+def _split_statements(text: str) -> List[str]:
+    """Split a script on top-level ``;`` (string literals and ``--``
+    comments respected), so one malformed statement does not hide the rest
+    of the script from the linter."""
+    pieces: List[str] = []
+    current: List[str] = []
+    i, n = 0, len(text)
+    in_string = False
+    in_comment = False
+    while i < n:
+        ch = text[i]
+        if in_comment:
+            current.append(ch)
+            if ch == "\n":
+                in_comment = False
+        elif in_string:
+            current.append(ch)
+            if ch == "'":
+                # '' escapes a quote inside the literal
+                if i + 1 < n and text[i + 1] == "'":
+                    current.append("'")
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+            current.append(ch)
+        elif ch == "-" and i + 1 < n and text[i + 1] == "-":
+            in_comment = True
+            current.append(ch)
+        elif ch == ";":
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    pieces.append("".join(current))
+    return [piece for piece in pieces if piece.strip()]
+
+
+def lint_sql(
+    text: str,
+    database: Optional[Database] = None,
+    min_severity: Severity = Severity.WARNING,
+) -> LintReport:
+    """Lint a ``;``-separated SQL script.
+
+    DDL/INSERT statements execute into ``database`` (a scratch one by
+    default) so later SELECTs can resolve the catalog; SELECTs are
+    analyzed statically and never executed.  A statement that fails to
+    parse or bind yields an ``L601`` diagnostic and linting continues with
+    the next statement.
+    """
+    from repro.parser.ast_nodes import SelectStatement, SetOperationStatement
+    from repro.parser.binder import execute_statement
+    from repro.parser.parser import parse_statement
+
+    report = LintReport()
+    sink = DiagnosticSink()
+    db = database if database is not None else Database()
+
+    def selects_of(statement: "object") -> List[SelectStatement]:
+        if isinstance(statement, SetOperationStatement):
+            return selects_of(statement.left) + selects_of(statement.right)
+        assert isinstance(statement, SelectStatement)
+        return [statement]
+
+    for index, sql in enumerate(_split_statements(text)):
+        report.statements += 1
+        where = f"statement[{index}]"
+        try:
+            statement = parse_statement(sql)
+            if isinstance(statement, (SelectStatement, SetOperationStatement)):
+                for select in selects_of(statement):
+                    report.selects += 1
+                    _analyze_select(db, select, sink, where, min_severity)
+            else:
+                execute_statement(db, statement)
+        except ReproError as error:
+            sink.report(
+                "L601", where, str(error),
+                hint="fix this statement; later statements were still linted",
+            )
+    report.diagnostics = list(sink.at_least(min_severity))
+    return report
+
+
+#: name -> (schema builder, representative paper queries).  These are the
+#: ``repro lint --workloads`` targets: the paper's example schemas with
+#: their canonical queries, which must always lint clean.
+def _workload_registry() -> "dict":
+    from repro.workloads.schemas import (
+        make_employee_department,
+        make_part_supplier,
+        make_printer_schema,
+    )
+
+    return {
+        "example1": (
+            make_employee_department,
+            (
+                "SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS headcount "
+                "FROM Employee E, Department D "
+                "WHERE E.DeptID = D.DeptID GROUP BY D.DeptID, D.Name",
+            ),
+        ),
+        "example2": (
+            make_part_supplier,
+            (
+                "SELECT P.ClassCode, S.SupplierNo, S.Name, "
+                "COUNT(P.PartNo) AS parts "
+                "FROM Part P, Supplier S "
+                "WHERE P.SupplierNo = S.SupplierNo "
+                "GROUP BY P.ClassCode, S.SupplierNo, S.Name",
+            ),
+        ),
+        "example3": (
+            make_printer_schema,
+            (
+                "SELECT U.UserName, SUM(A.Usage) AS pages "
+                "FROM UserAccount U, PrinterAuth A "
+                "WHERE U.UserId = A.UserId AND U.Machine = A.Machine "
+                "AND U.Machine = 'dragon' "
+                "GROUP BY A.UserId, A.Machine, U.UserName",
+            ),
+        ),
+    }
+
+
+def lint_workloads(min_severity: Severity = Severity.WARNING) -> LintReport:
+    """Lint every built-in workload query (the CI smoke target).
+
+    Loads each paper example schema into a scratch database and statically
+    analyzes its canonical queries; the seed workloads must come back
+    clean, so this doubles as a self-check of the analyzer.
+    """
+    report = LintReport()
+    sink = DiagnosticSink()
+    for name, (builder, queries) in sorted(_workload_registry().items()):
+        database = builder()
+        for qi, sql in enumerate(queries):
+            report.statements += 1
+            report.selects += 1
+            where = f"{name}.query[{qi}]"
+            sub = lint_sql(sql, database=database, min_severity=min_severity)
+            for diagnostic in sub.diagnostics:
+                sink.add(
+                    Diagnostic(
+                        diagnostic.rule_id,
+                        diagnostic.severity,
+                        f"{where}/{diagnostic.path}",
+                        diagnostic.message,
+                        diagnostic.hint,
+                    )
+                )
+    report.diagnostics = list(sink.at_least(min_severity))
+    return report

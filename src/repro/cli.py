@@ -1,15 +1,25 @@
-"""An interactive SQL shell over the engine: ``python -m repro``.
+"""The ``repro`` command line: a SQL shell plus analysis subcommands.
 
-Commands:
+``python -m repro`` (or plain ``repro``) opens the interactive shell:
 
 * any SQL statement terminated by ``;`` — DDL/INSERT execute, SELECTs run
   through the cost-based planner and print their result;
-* ``.explain <select>;`` — show the chosen strategy, estimated costs, the
-  TestFD verdict and the annotated plan instead of rows;
+* ``.explain [--certify] <select>;`` — show the chosen strategy, estimated
+  costs, the TestFD verdict and the annotated plan (and, with
+  ``--certify``, the rewrite certificate) instead of rows;
 * ``.script <path>`` — run a ``;``-separated SQL file;
 * ``.tables`` — list tables and views;
 * ``.policy cost|always_eager|never_eager`` — switch the planner policy;
 * ``.help`` / ``.quit``.
+
+Subcommands (no REPL):
+
+* ``repro lint <script.sql>...`` — statically verify every query of the
+  scripts without executing them (``--workloads`` lints the built-in
+  paper workloads, ``--rules`` prints the rule catalogue, ``--info``
+  includes INFO-severity notes).  Exits nonzero on ERROR findings.
+* ``repro explain [--certify] <script.sql>...`` — run the scripts and
+  print each SELECT's plan-choice report instead of its rows.
 """
 
 from __future__ import annotations
@@ -30,7 +40,9 @@ CONTINUATION = "...> "
 
 HELP = """\
 Enter SQL terminated by ';'.  Dot-commands:
-  .explain <select>;   show plan choice, costs, TestFD verdict
+  .explain [--certify] <select>;
+                       show plan choice, costs, TestFD verdict (and the
+                       rewrite certificate with --certify)
   .script <path>       run a SQL script file
   .dump [path]         write schema + data as a SQL script (stdout if no path)
   .open <path>         replace the session database from a dump script
@@ -162,9 +174,13 @@ class Shell:
             self.write(f"error: {error}")
 
     def _explain(self, sql: str) -> None:
+        certify = False
+        if sql.startswith("--certify"):
+            certify = True
+            sql = sql[len("--certify"):].strip()
         try:
             report = self.session.report(sql)
-            self.write(report.explain())
+            self.write(report.explain(certify=certify))
         except ReproError as error:
             self.write(f"error: {error}")
 
@@ -198,9 +214,88 @@ class Shell:
         self.write(f"ran {ran} statements")
 
 
+def _lint_command(arguments: list, out: TextIO = sys.stdout) -> int:
+    """``repro lint``: statically analyze SQL scripts; nonzero on errors."""
+    from repro.analysis.diagnostics import RULES, Severity
+    from repro.analysis.linter import lint_sql, lint_workloads
+
+    def write(text: str) -> None:
+        out.write(text + "\n")
+
+    min_severity = Severity.INFO if "--info" in arguments else Severity.WARNING
+    if "--rules" in arguments:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            write(f"{rule.rule_id}  {rule.severity}  {rule.description}")
+        return 0
+    ok = True
+    linted = False
+    if "--workloads" in arguments:
+        report = lint_workloads(min_severity=min_severity)
+        write("workloads: " + report.render())
+        ok = ok and report.ok
+        linted = True
+    paths = [a for a in arguments if not a.startswith("--")]
+    for path in paths:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as error:
+            write(f"error: {error}")
+            return 2
+        report = lint_sql(text, min_severity=min_severity)
+        write(f"{path}: " + report.render())
+        ok = ok and report.ok
+        linted = True
+    if not linted:
+        write("usage: repro lint [--workloads] [--rules] [--info] <script.sql>...")
+        return 2
+    return 0 if ok else 1
+
+
+def _explain_command(arguments: list, out: TextIO = sys.stdout) -> int:
+    """``repro explain``: run scripts, print plan reports instead of rows."""
+    from repro.parser.ast_nodes import SelectStatement, SetOperationStatement
+    from repro.parser.binder import execute_statement
+    from repro.parser.parser import parse_script
+
+    def write(text: str) -> None:
+        out.write(text + "\n")
+
+    certify = "--certify" in arguments
+    paths = [a for a in arguments if not a.startswith("--")]
+    if not paths:
+        write("usage: repro explain [--certify] <script.sql>...")
+        return 2
+    session = Session()
+    for path in paths:
+        try:
+            with open(path) as handle:
+                statements = parse_script(handle.read())
+        except (OSError, ReproError) as error:
+            write(f"error: {error}")
+            return 2
+        for statement in statements:
+            try:
+                if isinstance(statement, (SelectStatement, SetOperationStatement)):
+                    report = session.report_statement(statement)
+                    write(report.explain(certify=certify))
+                else:
+                    execute_statement(session.database, statement)
+            except ReproError as error:
+                write(f"error: {error}")
+                return 1
+    return 0
+
+
 def main(argv: Optional[Iterable[str]] = None) -> int:
-    """Entry point: optional script paths as arguments, then a REPL."""
+    """Entry point: subcommands (``lint``, ``explain``), or script paths
+    followed by a REPL."""
     arguments = list(argv if argv is not None else sys.argv[1:])
+    if arguments and arguments[0] == "lint":
+        return _lint_command(arguments[1:])
+    if arguments and arguments[0] == "explain":
+        return _explain_command(arguments[1:])
     shell = Shell()
     for path in arguments:
         shell._run_script(path)

@@ -53,7 +53,13 @@ from repro.fd.derivation import TableBinding
 @dataclass
 class ComponentTrace:
     """The step-by-step record of one DNF component's closure (Example 3
-    prints these as steps a–h)."""
+    prints these as steps a–h).
+
+    ``constants`` and ``equalities`` are the component's Type-1/Type-2
+    atoms in structured form (qualified column names), so the rewrite
+    auditor (:mod:`repro.analysis.certificates`) can re-derive the closure
+    independently instead of trusting the rendered ``atoms`` strings.
+    """
 
     atoms: Tuple[str, ...]
     seed: FrozenSet[str]
@@ -61,6 +67,8 @@ class ComponentTrace:
     closure: FrozenSet[str]
     r2_keys_found: bool
     ga1_plus_covered: bool
+    constants: Tuple[str, ...] = ()
+    equalities: Tuple[Tuple[str, str], ...] = ()
 
 
 @dataclass
@@ -259,6 +267,10 @@ def test_fd(
             ComponentTrace(
                 tuple(str(a) for a in component),
                 seed, after_constants, closure, r2_ok, ga1_ok,
+                constants=tuple(c.column.qualified for c in type1),
+                equalities=tuple(
+                    (c.left.qualified, c.right.qualified) for c in type2
+                ),
             )
         )
         if not r2_ok:

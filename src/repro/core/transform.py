@@ -119,7 +119,25 @@ def transform(
     assume_unique_keys: bool = False,
     paper_strict: bool = False,
 ) -> PlanNode:
-    """Return the eager (E2) plan, or raise if validity cannot be shown."""
+    """Return the eager (E2) plan, or raise if validity cannot be shown.
+
+    The returned plan carries a
+    :class:`~repro.analysis.certificates.RewriteCertificate` recording the
+    keys, equality classes and closures that establish FD1/FD2.  The
+    certificate is independently re-validated and the plan statically
+    verified before being returned — a defect in either (which would mean a
+    bug in TestFD or the plan builders) raises :class:`TransformationError`
+    rather than handing out an unsound plan.
+    """
+    # Lazy imports: repro.analysis imports the plan builders from here.
+    from repro.analysis.certificates import (
+        attach_certificate,
+        audit_certificate,
+        issue_certificate,
+    )
+    from repro.analysis.diagnostics import Severity, render_diagnostics
+    from repro.analysis.verifier import analyze_plan
+
     decision = check_transformable(
         database, query,
         assume_unique_keys=assume_unique_keys,
@@ -127,7 +145,24 @@ def transform(
     )
     if not decision.valid:
         raise TransformationError(decision.reason)
-    return build_eager_plan(query)
+    plan = build_eager_plan(query)
+    assert decision.testfd is not None
+    certificate = issue_certificate(
+        database, query, decision.testfd, assume_unique_keys=assume_unique_keys
+    )
+    problems = list(audit_certificate(database, query, certificate))
+    problems.extend(
+        analyze_plan(
+            plan, database,
+            certificate=certificate,
+            min_severity=Severity.ERROR,
+        )
+    )
+    if problems:
+        raise TransformationError(
+            "rewrite failed self-verification:\n" + render_diagnostics(problems)
+        )
+    return attach_certificate(plan, certificate)
 
 
 def reverse(

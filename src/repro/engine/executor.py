@@ -57,12 +57,16 @@ class ExecutorConfig:
     * ``exploit_orders``: let sort-based grouping skip its sort when the
       input is already ordered on the grouping columns (§2's pipelined
       aggregation; sort-merge joins always exploit presorted inputs).
+    * ``verify``: statically verify every plan before executing it
+      (:func:`repro.analysis.verifier.analyze_plan`); ERROR-severity
+      findings raise :class:`~repro.errors.PlanVerificationError`.
     """
 
     join_algorithm: str = "auto"
     aggregation: str = "hash"
     expose_rowids: bool = False
     exploit_orders: bool = False
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
@@ -87,9 +91,35 @@ class Executor:
     def run(self, plan: PlanNode) -> Tuple[DataSet, ExecutionStats]:
         """Execute ``plan``; returns the result and per-operator statistics."""
         fused = fuse_group_apply(plan)
+        if self.config.verify:
+            self._verify(plan, fused)
         stats = ExecutionStats()
         result = self._execute(fused, stats)
         return result, stats
+
+    def _verify(self, plan: PlanNode, fused: PlanNode) -> None:
+        """Opt-in pre-flight: reject statically broken plans before running.
+
+        The *fused* plan is what executes, so that is what gets analyzed;
+        a rewrite certificate attached to the original root still counts.
+        """
+        from repro.analysis.certificates import get_certificate
+        from repro.analysis.diagnostics import Severity, render_diagnostics
+        from repro.analysis.verifier import analyze_plan
+        from repro.errors import PlanVerificationError
+
+        diagnostics = analyze_plan(
+            fused,
+            self.database,
+            certificate=get_certificate(plan),
+            min_severity=Severity.ERROR,
+        )
+        if diagnostics:
+            raise PlanVerificationError(
+                "plan failed static verification:\n"
+                + render_diagnostics(diagnostics),
+                diagnostics,
+            )
 
     # -- dispatch -----------------------------------------------------------
 

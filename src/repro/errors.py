@@ -50,6 +50,18 @@ class ExecutionError(ReproError):
     """A runtime failure while evaluating a plan (e.g. bad aggregate input)."""
 
 
+class PlanVerificationError(ExecutionError):
+    """Static verification rejected a plan before execution.
+
+    Raised by the executor's opt-in pre-flight check
+    (``ExecutorConfig(verify=True)``); carries the verifier's diagnostics.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class TransformationError(ReproError):
     """The query is outside the class handled by the paper's transformation.
 

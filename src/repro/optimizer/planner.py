@@ -90,6 +90,7 @@ class Planner:
 
         eager = build_eager_plan(query)
         eager_cost = self.cost_model.cost(eager).total
+        self._certify(eager, query, decision)
 
         if self.policy == "always_eager":
             return PlanChoice(eager, "eager", standard_cost, eager_cost, decision)
@@ -98,3 +99,27 @@ class Planner:
         if eager_cost < standard_cost:
             return PlanChoice(eager, "eager", standard_cost, eager_cost, decision)
         return PlanChoice(standard, "standard", standard_cost, eager_cost, decision)
+
+    def _certify(
+        self,
+        eager: PlanNode,
+        query: GroupByJoinQuery,
+        decision: TransformationDecision,
+    ) -> None:
+        """Attach the FD1/FD2 rewrite certificate to a valid eager plan.
+
+        The certificate is what licenses the plan's below-join aggregation
+        to the static verifier (rule G103) and what ``explain --certify``
+        renders.  Lazy import: :mod:`repro.analysis` imports the plan
+        builders from :mod:`repro.core.transform`.
+        """
+        from repro.analysis.certificates import attach_certificate, issue_certificate
+
+        if decision.testfd is not None:
+            attach_certificate(
+                eager,
+                issue_certificate(
+                    self.database, query, decision.testfd,
+                    assume_unique_keys=self.assume_unique_keys,
+                ),
+            )

@@ -54,7 +54,16 @@ class QueryReport:
     stats: ExecutionStats
     choice: Optional[PlanChoice] = None
 
-    def explain(self) -> str:
+    @property
+    def certificate(self):
+        """The rewrite certificate attached to the executed plan, if any."""
+        from repro.analysis.certificates import get_certificate
+
+        return get_certificate(self.plan)
+
+    def explain(self, certify: bool = False) -> str:
+        """The plan-choice story; ``certify=True`` appends the rewrite
+        certificate (re-audited first) when the plan carries one."""
         lines = [f"strategy: {self.strategy}"]
         if self.choice is not None:
             lines.append(f"standard cost (est.): {self.choice.standard_cost:.1f}")
@@ -63,6 +72,14 @@ class QueryReport:
             lines.append(f"transformable: {self.choice.decision.valid} "
                          f"({self.choice.decision.reason})")
         lines.append(render_annotated(self.plan, self.stats.cardinality_map()))
+        if certify:
+            certificate = self.certificate
+            if certificate is None:
+                lines.append(
+                    "no rewrite certificate (plan is not a certified eager plan)"
+                )
+            else:
+                lines.append(certificate.render())
         return "\n".join(lines)
 
 
@@ -273,6 +290,13 @@ class Session:
         # the executor's per-node statistics (the executor would fuse to
         # fresh nodes otherwise and the annotations would not line up).
         plan = fuse_group_apply(choice.plan)
+        if plan is not choice.plan:
+            # Fusing rebuilt the root: carry the rewrite certificate over.
+            from repro.analysis.certificates import attach_certificate, get_certificate
+
+            certificate = get_certificate(choice.plan)
+            if certificate is not None:
+                attach_certificate(plan, certificate)
         result, stats = self._executor(params).run(plan)
         return QueryReport(result, plan, choice.strategy, stats, choice)
 

@@ -1,0 +1,161 @@
+"""Output-schema inference over the SQL2 algebra (analysis.schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.ops import (
+    AggregateSpec,
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.schema import (
+    AmbiguousColumn,
+    ColumnInfo,
+    PlanSchema,
+    infer_schema,
+    infer_schemas,
+)
+from repro.expressions.builder import col, count, eq, sum_
+from repro.workloads.schemas import make_employee_department
+
+
+@pytest.fixture
+def db():
+    return make_employee_department()
+
+
+class TestRelationSchema:
+    def test_columns_qualified_by_correlation(self, db):
+        schema = infer_schema(Relation("Employee", "E"), db)
+        assert schema.names() == (
+            "E.EmpID", "E.LastName", "E.FirstName", "E.DeptID",
+        )
+
+    def test_types_and_nullability_from_catalog(self, db):
+        schema = infer_schema(Relation("Employee", "E"), db)
+        empid = schema.resolve("E.EmpID")
+        deptid = schema.resolve("E.DeptID")
+        assert empid is not None and not empid.nullable  # primary key
+        assert deptid is not None and deptid.nullable
+        assert str(empid.datatype) == "INTEGER"
+
+    def test_default_correlation_is_table_name(self, db):
+        schema = infer_schema(Relation("Department"), db)
+        assert schema.names()[0] == "Department.DeptID"
+
+
+class TestResolution:
+    def test_exact_qualified_match(self, db):
+        schema = infer_schema(Relation("Employee", "E"), db)
+        assert schema.resolve("E.EmpID").name == "E.EmpID"
+
+    def test_unique_bare_suffix_match(self, db):
+        schema = infer_schema(Relation("Employee", "E"), db)
+        assert schema.resolve("EmpID").name == "E.EmpID"
+
+    def test_unbound_name_is_none(self, db):
+        schema = infer_schema(Relation("Employee", "E"), db)
+        assert schema.resolve("E.Nope") is None
+
+    def test_ambiguous_bare_name_raises(self):
+        schema = PlanSchema(
+            (ColumnInfo("E.DeptID"), ColumnInfo("D.DeptID"))
+        )
+        with pytest.raises(AmbiguousColumn):
+            schema.resolve("DeptID")
+
+
+class TestOperators:
+    def test_select_and_sort_pass_through(self, db):
+        scan = Relation("Employee", "E")
+        plan = Sort(Select(scan, eq(col("E.DeptID"), 1)), ["E.EmpID"])
+        assert infer_schema(plan, db).names() == infer_schema(scan, db).names()
+
+    def test_project_narrows(self, db):
+        plan = Project(Relation("Employee", "E"), ["E.EmpID", "E.DeptID"])
+        assert infer_schema(plan, db).names() == ("E.EmpID", "E.DeptID")
+
+    def test_join_and_product_concatenate(self, db):
+        left = Relation("Employee", "E")
+        right = Relation("Department", "D")
+        join = Join(left, right, eq(col("E.DeptID"), col("D.DeptID")))
+        product = Product(left, right)
+        expected = infer_schema(left, db).names() + infer_schema(right, db).names()
+        assert infer_schema(join, db).names() == expected
+        assert infer_schema(product, db).names() == expected
+
+    def test_group_keeps_all_columns(self, db):
+        plan = Group(Relation("Employee", "E"), ["E.DeptID"])
+        assert infer_schema(plan, db).names() == (
+            "E.EmpID", "E.LastName", "E.FirstName", "E.DeptID",
+        )
+
+    def test_apply_outputs_grouping_plus_aggregates(self, db):
+        plan = Apply(
+            Group(Relation("Employee", "E"), ["E.DeptID"]),
+            [AggregateSpec("cnt", count("E.EmpID"))],
+        )
+        assert infer_schema(plan, db).names() == ("E.DeptID", "cnt")
+
+    def test_group_apply_matches_apply(self, db):
+        fused = GroupApply(
+            Relation("Employee", "E"),
+            ["E.DeptID"],
+            [AggregateSpec("cnt", count("E.EmpID"))],
+        )
+        assert infer_schema(fused, db).names() == ("E.DeptID", "cnt")
+
+    def test_count_not_nullable_sum_nullable(self, db):
+        plan = GroupApply(
+            Relation("Employee", "E"),
+            ["E.DeptID"],
+            [
+                AggregateSpec("cnt", count("E.EmpID")),
+                AggregateSpec("total", sum_("E.EmpID")),
+            ],
+        )
+        schema = infer_schema(plan, db)
+        assert not schema.resolve("cnt").nullable
+        assert schema.resolve("total").nullable
+
+    def test_every_node_gets_a_schema(self, db):
+        plan = Project(
+            Join(
+                Apply(
+                    Group(Relation("Employee", "E"), ["E.DeptID"]),
+                    [AggregateSpec("cnt", count("E.EmpID"))],
+                ),
+                Relation("Department", "D"),
+                eq(col("E.DeptID"), col("D.DeptID")),
+            ),
+            ["D.DeptID", "cnt"],
+        )
+        schemas = infer_schemas(plan, db)
+        count_nodes = 0
+
+        def walk(node):
+            nonlocal count_nodes
+            count_nodes += 1
+            assert id(node) in schemas
+            for child in node.children():
+                walk(child)
+
+        walk(plan)
+        assert count_nodes == 6
+
+    def test_inference_is_total_despite_defects(self, db):
+        # Unknown table -> empty schema, but the parent still infers.
+        plan = Project(Relation("NoSuchTable", "X"), ["X.a"])
+        sink = DiagnosticSink()
+        schemas = infer_schemas(plan, db, sink)
+        assert schemas[id(plan)].names() == ("X.a",)
+        assert {d.rule_id for d in sink.diagnostics} == {"A002", "A001"}
