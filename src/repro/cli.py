@@ -20,6 +20,10 @@ Subcommands (no REPL):
   includes INFO-severity notes).  Exits nonzero on ERROR findings.
 * ``repro explain [--certify] <script.sql>...`` — run the scripts and
   print each SELECT's plan-choice report instead of its rows.
+* ``repro bench [--quick] [--out path] [--repeat n]`` — time the paper's
+  workload scenarios on both execution backends (row vs. vector), check
+  result/stats parity, and write ``BENCH_vector.json``; ``--quick`` is
+  the CI smoke mode (small data + the differential-equivalence harness).
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ Enter SQL terminated by ';'.  Dot-commands:
   .schema [table]      show CREATE TABLE DDL (all tables if none named)
   .tables              list tables and views
   .policy <name>       set planner policy (cost, always_eager, never_eager)
+  .engine <name>       set execution backend (row, vector)
   .help                this text
   .quit                exit
 """
@@ -99,6 +104,8 @@ class Shell:
                 return
             self.session.policy = argument
             self.write(f"policy set to {argument}")
+        elif command == ".engine":
+            self._set_engine(argument)
         elif command == ".script":
             self._run_script(argument)
         elif command == ".explain":
@@ -111,6 +118,17 @@ class Shell:
             self._schema(argument)
         else:
             self.write(f"unknown command {command}; try .help")
+
+    def _set_engine(self, name: str) -> None:
+        from dataclasses import replace
+
+        if name not in ("row", "vector"):
+            self.write(f"unknown engine {name!r}; pick one of ('row', 'vector')")
+            return
+        self.session.executor_config = replace(
+            self.session.executor_config, engine=name
+        )
+        self.write(f"engine set to {name}")
 
     def _schema(self, table_name: str) -> None:
         from repro.catalog.dump import _table_ddl
@@ -296,6 +314,10 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         return _lint_command(arguments[1:])
     if arguments and arguments[0] == "explain":
         return _explain_command(arguments[1:])
+    if arguments and arguments[0] == "bench":
+        from repro.engine.vector.bench import main as bench_main
+
+        return bench_main(arguments[1:])
     shell = Shell()
     for path in arguments:
         shell._run_script(path)

@@ -32,7 +32,7 @@ from repro.expressions.ast import (
     Negate,
     aggregates as collect_aggregates,
 )
-from repro.expressions.eval import evaluate_scalar
+from repro.expressions.eval import ReusableRowScope, evaluate_scalar
 from repro.sqltypes.values import (
     NULL,
     SqlValue,
@@ -49,6 +49,22 @@ from repro.sqltypes.values import (
 _ARITHMETIC = {"+": sql_add, "-": sql_sub, "*": sql_mul, "/": sql_div}
 
 
+def _values_extractor(indexes: Sequence[int]):
+    """A precompiled ``row -> tuple(row[i] for i in indexes)``.
+
+    Hoisted out of per-row loops: the closure (or ``itemgetter``) avoids
+    re-creating a generator and tuple-comprehension frame per row.
+    """
+    if not indexes:
+        return lambda row: ()
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda row: (row[index],)
+    from operator import itemgetter
+
+    return itemgetter(*indexes)
+
+
 def compute_aggregate(
     aggregate: Aggregate,
     dataset: DataSet,
@@ -60,8 +76,9 @@ def compute_aggregate(
         return len(group_rows)
 
     values: List[SqlValue] = []
+    scope = ReusableRowScope(dataset.columns)
     for row in group_rows:
-        value = evaluate_scalar(aggregate.argument, dataset.scope(row), params)
+        value = evaluate_scalar(aggregate.argument, scope.bind(row), params)
         if not is_null(value):
             values.append(value)
     if aggregate.distinct:
@@ -150,9 +167,10 @@ def hash_group(
     # what the paper's G[GA]/F[AA] algebra requires for the degenerate cases
     # of the Main Theorem (Section 5, Case 1).
     group_indexes = dataset.indexes_of(grouping_columns)
+    extract = _values_extractor(group_indexes)
     groups: Dict[Tuple, List[Tuple[SqlValue, ...]]] = {}
     for row in dataset.rows:
-        key = group_key(tuple(row[i] for i in group_indexes))
+        key = group_key(extract(row))
         groups.setdefault(key, []).append(row)
 
     out_rows: List[Tuple[SqlValue, ...]] = []
@@ -192,12 +210,12 @@ def sort_group(
     import math
 
     group_indexes = dataset.indexes_of(grouping_columns)
+    extract = _values_extractor(group_indexes)
     if presorted:
         ordered = dataset.rows
     else:
         ordered = sorted(
-            dataset.rows,
-            key=lambda row: sort_key(tuple(row[i] for i in group_indexes)),
+            dataset.rows, key=lambda row: sort_key(extract(row))
         )
 
     out_rows: List[Tuple[SqlValue, ...]] = []
@@ -216,7 +234,7 @@ def sort_group(
         out_rows.append(group_values + agg_values)
 
     for row in ordered:
-        key = group_key(tuple(row[i] for i in group_indexes))
+        key = group_key(extract(row))
         if key != current_key:
             flush()
             current_key = key

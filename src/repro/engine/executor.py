@@ -60,6 +60,10 @@ class ExecutorConfig:
     * ``verify``: statically verify every plan before executing it
       (:func:`repro.analysis.verifier.analyze_plan`); ERROR-severity
       findings raise :class:`~repro.errors.PlanVerificationError`.
+    * ``engine``: ``"row"`` (tuple-at-a-time interpreter) or ``"vector"``
+      (columnar batches + compiled kernels,
+      :class:`repro.engine.vector.VectorExecutor`).  Both backends produce
+      ``=ⁿ``-identical results and identical :class:`ExecutionStats`.
     """
 
     join_algorithm: str = "auto"
@@ -67,12 +71,15 @@ class ExecutorConfig:
     expose_rowids: bool = False
     exploit_orders: bool = False
     verify: bool = False
+    engine: str = "row"
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
             raise ValueError(f"bad join_algorithm: {self.join_algorithm}")
         if self.aggregation not in ("hash", "sort"):
             raise ValueError(f"bad aggregation: {self.aggregation}")
+        if self.engine not in ("row", "vector"):
+            raise ValueError(f"bad engine: {self.engine}")
 
 
 class Executor:
@@ -93,6 +100,10 @@ class Executor:
         fused = fuse_group_apply(plan)
         if self.config.verify:
             self._verify(plan, fused)
+        if self.config.engine == "vector":
+            from repro.engine.vector.executor import VectorExecutor
+
+            return VectorExecutor(self.database, self.config, self.params).run(fused)
         stats = ExecutionStats()
         result = self._execute(fused, stats)
         return result, stats
@@ -166,11 +177,14 @@ class Executor:
 
     def _select(self, node: Select, stats: ExecutionStats) -> DataSet:
         child = self._execute(node.child, stats)
+        from repro.expressions.eval import ReusableRowScope
+
+        scope = ReusableRowScope(child.columns)
         out_rows = [
             row
             for row in child.rows
             if evaluate_predicate(
-                node.condition, child.scope(row), self.params
+                node.condition, scope.bind(row), self.params
             ).is_true()
         ]
         # Filtering preserves any known sort order.

@@ -17,7 +17,7 @@ from typing import List, Mapping, Optional, Tuple
 from repro.engine.dataset import DataSet
 from repro.expressions.analysis import classify_atomic, Type2Condition
 from repro.expressions.ast import Expression
-from repro.expressions.eval import evaluate_predicate
+from repro.expressions.eval import ReusableRowScope, evaluate_predicate
 from repro.expressions.normalize import conjoin, split_conjuncts
 from repro.sqltypes.values import SqlValue, is_null, sort_key
 
@@ -26,12 +26,14 @@ def _combined(left: DataSet, right: DataSet) -> Tuple[str, ...]:
     return left.columns + right.columns
 
 
-def _pair_scope(
-    columns: Tuple[str, ...], row: Tuple[SqlValue, ...]
-):
-    from repro.expressions.eval import RowScope
+def _side_index(dataset: DataSet, name: str) -> Optional[int]:
+    """The column's index when it binds on this side, else ``None``."""
+    from repro.errors import BindingError
 
-    return RowScope.from_pairs(columns, row)
+    try:
+        return dataset.index_of(name)
+    except BindingError:
+        return None
 
 
 def extract_equi_keys(
@@ -41,7 +43,10 @@ def extract_equi_keys(
 
     Returns ``(pairs, residual)`` where each pair is ``(left_index,
     right_index)`` and ``residual`` is the conjunction of everything that is
-    not a cross-input column equality.
+    not a cross-input column equality.  An equality is a join key only when
+    its two columns bind on *opposite* sides, each unambiguously: an
+    equality between two columns of the same side (e.g. ``A.X = A.Y``) is
+    a per-row filter, not a key, and stays in the residual.
     """
     pairs: List[Tuple[int, int]] = []
     residual: List[Expression] = []
@@ -49,21 +54,28 @@ def extract_equi_keys(
         classified = classify_atomic(conjunct)
         matched = False
         if isinstance(classified, Type2Condition):
-            left_name = classified.left.qualified
-            right_name = classified.right.qualified
-            from repro.errors import BindingError
-
-            try:
-                pairs.append((left.index_of(left_name), right.index_of(right_name)))
+            first = classified.left.qualified
+            second = classified.right.qualified
+            first_left = _side_index(left, first)
+            first_right = _side_index(right, first)
+            second_left = _side_index(left, second)
+            second_right = _side_index(right, second)
+            if (
+                first_left is not None
+                and first_right is None
+                and second_right is not None
+                and second_left is None
+            ):
+                pairs.append((first_left, second_right))
                 matched = True
-            except BindingError:
-                try:
-                    pairs.append(
-                        (left.index_of(right_name), right.index_of(left_name))
-                    )
-                    matched = True
-                except BindingError:
-                    matched = False
+            elif (
+                second_left is not None
+                and second_right is None
+                and first_right is not None
+                and first_left is None
+            ):
+                pairs.append((second_left, first_right))
+                matched = True
         if not matched:
             residual.append(conjunct)
     return pairs, conjoin(residual)
@@ -78,11 +90,12 @@ def nested_loop_join(
     """Examine every pair; work = |L| × |R| (the paper's join-size metric)."""
     columns = _combined(left, right)
     out_rows: List[Tuple[SqlValue, ...]] = []
+    scope = ReusableRowScope(columns)
     for left_row in left.rows:
         for right_row in right.rows:
             combined = left_row + right_row
             if condition is None or evaluate_predicate(
-                condition, _pair_scope(columns, combined), params
+                condition, scope.bind(combined), params
             ).is_true():
                 out_rows.append(combined)
     work = left.cardinality * right.cardinality
@@ -114,6 +127,7 @@ def hash_join(
 
     out_rows: List[Tuple[SqlValue, ...]] = []
     probes = 0
+    scope = ReusableRowScope(columns)
     for left_row in left.rows:
         key_values = tuple(left_row[i] for i in left_keys)
         if any(is_null(v) for v in key_values):
@@ -122,7 +136,7 @@ def hash_join(
             probes += 1
             combined = left_row + right_row
             if residual is None or evaluate_predicate(
-                residual, _pair_scope(columns, combined), params
+                residual, scope.bind(combined), params
             ).is_true():
                 out_rows.append(combined)
     work = left.cardinality + right.cardinality + probes
@@ -183,6 +197,7 @@ def sort_merge_join(
 
     out_rows: List[Tuple[SqlValue, ...]] = []
     matches = 0
+    scope = ReusableRowScope(columns)
     i = j = 0
     while i < len(left_sorted) and j < len(right_sorted):
         left_key = sort_key(tuple(left_sorted[i][k] for k in left_keys))
@@ -207,7 +222,7 @@ def sort_merge_join(
                     matches += 1
                     combined = left_sorted[i_run] + right_row
                     if residual is None or evaluate_predicate(
-                        residual, _pair_scope(columns, combined), params
+                        residual, scope.bind(combined), params
                     ).is_true():
                         out_rows.append(combined)
                 i_run += 1

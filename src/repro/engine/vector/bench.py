@@ -1,0 +1,317 @@
+"""The benchmark trajectory: row vs. vector wall time on the bench scenarios.
+
+Runs the repository's ``test_bench_*`` scenario shapes (Figure 1, Figure 8,
+pipelined aggregation, the star schema, the crossover two-table sweep)
+through **both** execution backends, timing each and checking ``=ⁿ`` result
+equality and :class:`ExecutionStats` parity as it goes, then writes the
+machine-readable ``BENCH_vector.json`` at the repository root — the first
+point of the perf trajectory the ROADMAP's "as fast as the hardware
+allows" north star needs.
+
+Entry points: ``repro bench`` (CLI), ``python benchmarks/runner.py``
+(wrapper), or :func:`run_bench` from Python.  ``--quick`` shrinks the data
+and additionally runs the full differential-equivalence harness — the CI
+smoke mode, failing on any backend divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.ops import (
+    AggregateSpec,
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    PlanNode,
+    Relation,
+    Sort,
+)
+from repro.catalog import Column, Database, PrimaryKeyConstraint, TableSchema
+from repro.engine.executor import ExecutorConfig, execute
+from repro.engine.stats import ExecutionStats
+from repro.engine.vector.differential import (
+    failures,
+    render_results,
+    run_differential,
+    stats_signature,
+)
+from repro.expressions.builder import col, count, eq, sum_
+from repro.sqltypes import INTEGER, VARCHAR
+from repro.workloads.generators import (
+    TwoTableSpec,
+    make_two_table,
+    populate_employee_department,
+    populate_example4,
+    populate_retail,
+)
+from repro.workloads.schemas import make_employee_department, make_retail_star
+
+
+@dataclass
+class Scenario:
+    """One timed workload: a database, a plan, and an executor config."""
+
+    name: str
+    rows: int  # driving-table cardinality, for the report
+    build: Callable[[], Database]
+    plan: Callable[[], PlanNode]  # fresh tree per run (node ids key stats)
+    config: ExecutorConfig = ExecutorConfig()
+
+
+def _fact_table_db(n_fact: int, n_dim: int = 60, seed: int = 5) -> Database:
+    import random
+
+    database = Database("bench_fact")
+    database.create_table(
+        TableSchema(
+            "F",
+            [Column("id", INTEGER), Column("k", INTEGER), Column("v", INTEGER)],
+            [PrimaryKeyConstraint(["id"])],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "D",
+            [Column("k", INTEGER), Column("name", VARCHAR(10))],
+            [PrimaryKeyConstraint(["k"])],
+        )
+    )
+    rng = random.Random(seed)
+    for i in range(1, n_fact + 1):
+        database.insert("F", [i, rng.randint(1, n_dim), rng.randint(1, 100)])
+    for k in range(1, n_dim + 1):
+        database.insert("D", [k, f"d{k}"])
+    return database
+
+
+def _pipelined_plan() -> PlanNode:
+    # test_bench_pipelined_aggregation's shape: sort feeds a grouped
+    # aggregation that (with exploit_orders) pipelines over the scan.
+    return Apply(
+        Group(Sort(Relation("F", "F"), ["F.k"]), ["F.k"]),
+        [AggregateSpec("s", sum_("F.v"))],
+    )
+
+
+def _star_db(n_sales: int) -> Database:
+    db = make_retail_star()
+    populate_retail(
+        db, n_sales=n_sales, n_customers=500, n_products=60, n_stores=12, seed=3
+    )
+    return db
+
+
+def _star_plan() -> PlanNode:
+    # test_bench_star_schema's per-customer report, standard shape:
+    # join the fact table to Customer, then group on the customer key.
+    joined = Join(
+        Relation("Sales", "S"),
+        Relation("Customer", "C"),
+        eq(col("S.CustID"), col("C.CustID")),
+    )
+    return GroupApply(
+        joined,
+        ["C.CustID", "C.Name"],
+        [AggregateSpec("total", sum_("S.Amount"))],
+    )
+
+
+def _figure1_db(n_employees: int) -> Database:
+    db = make_employee_department()
+    populate_employee_department(db, n_employees=n_employees, n_departments=100, seed=0)
+    return db
+
+
+def _figure1_plan() -> PlanNode:
+    # Figure 1 Plan 1 (standard): group-by after the join.
+    joined = Join(
+        Relation("Employee", "E"),
+        Relation("Department", "D"),
+        eq(col("E.DeptID"), col("D.DeptID")),
+    )
+    return GroupApply(
+        joined,
+        ["D.DeptID", "D.Name"],
+        [AggregateSpec("cnt", count("E.EmpID"))],
+    )
+
+
+def _figure8_plan() -> PlanNode:
+    joined = Join(
+        Relation("A", "A"), Relation("B", "B"), eq(col("A.BRef"), col("B.BId"))
+    )
+    return GroupApply(joined, ["A.GKey"], [AggregateSpec("s", sum_("A.Val"))])
+
+
+def scenarios(quick: bool) -> List[Scenario]:
+    n_pipe = 4000 if quick else 100_000
+    n_star = 4000 if quick else 100_000
+    n_fig1 = 2000 if quick else 10_000
+    n_fig8 = 2000 if quick else 10_000
+    n_cross = 2000 if quick else 20_000
+    return [
+        Scenario(
+            "pipelined_aggregation",
+            n_pipe,
+            lambda: _fact_table_db(n_pipe),
+            _pipelined_plan,
+            ExecutorConfig(aggregation="sort", exploit_orders=True),
+        ),
+        Scenario("star_schema", n_star, lambda: _star_db(n_star), _star_plan),
+        Scenario(
+            "figure1_example1", n_fig1, lambda: _figure1_db(n_fig1), _figure1_plan
+        ),
+        Scenario(
+            "figure8_example4",
+            n_fig8,
+            lambda: populate_example4(
+                n_a=n_fig8, n_b=100, a_groups=max(10, int(n_fig8 * 0.9)),
+                match_rows=50, seed=4,
+            ),
+            _figure8_plan,
+        ),
+        Scenario(
+            "crossover_two_table",
+            n_cross,
+            lambda: make_two_table(
+                TwoTableSpec(n_a=n_cross, n_b=100, a_groups=100, seed=9)
+            ),
+            _figure8_plan,
+        ),
+    ]
+
+
+def _time_engine(
+    db: Database,
+    plan_factory: Callable[[], PlanNode],
+    config: ExecutorConfig,
+    repeat: int,
+) -> Tuple[float, object, ExecutionStats]:
+    """Best-of-``repeat`` wall time; returns (seconds, result, stats)."""
+    best = float("inf")
+    result = stats = None
+    for __ in range(repeat):
+        plan = plan_factory()
+        start = time.perf_counter()
+        result, stats = execute(db, plan, config)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result, stats
+
+
+def _engine_report(seconds: float, stats: ExecutionStats) -> Dict:
+    return {
+        "wall_s": round(seconds, 6),
+        "total_work": stats.total_work(),
+        "groupby_input_rows": stats.groupby_input_rows(),
+        "join_input_sizes": stats.join_input_sizes(),
+    }
+
+
+def run_bench(quick: bool = False, repeat: int = 2) -> Dict:
+    """Time every scenario in both engines; returns the full report dict."""
+    report: Dict = {
+        "benchmark": "row-vs-vector backend",
+        "quick": quick,
+        "repeat": repeat,
+        "scenarios": [],
+    }
+    for scenario in scenarios(quick):
+        db = scenario.build()
+        row_s, row_result, row_stats = _time_engine(
+            db, scenario.plan, replace(scenario.config, engine="row"), repeat
+        )
+        vec_s, vec_result, vec_stats = _time_engine(
+            db, scenario.plan, replace(scenario.config, engine="vector"), repeat
+        )
+        entry = {
+            "scenario": scenario.name,
+            "rows": scenario.rows,
+            "config": {
+                "join_algorithm": scenario.config.join_algorithm,
+                "aggregation": scenario.config.aggregation,
+                "exploit_orders": scenario.config.exploit_orders,
+            },
+            "row": _engine_report(row_s, row_stats),
+            "vector": _engine_report(vec_s, vec_stats),
+            "speedup": round(row_s / vec_s, 2) if vec_s > 0 else None,
+            "results_match": row_result.equals_multiset(vec_result),
+            "stats_match": stats_signature(row_stats) == stats_signature(vec_stats),
+        }
+        report["scenarios"].append(entry)
+    return report
+
+
+def render_report(report: Dict) -> str:
+    lines = [
+        f"{'scenario':<24} {'rows':>8} {'row (s)':>10} {'vector (s)':>11} "
+        f"{'speedup':>8}  equal"
+    ]
+    for entry in report["scenarios"]:
+        ok = entry["results_match"] and entry["stats_match"]
+        lines.append(
+            f"{entry['scenario']:<24} {entry['rows']:>8} "
+            f"{entry['row']['wall_s']:>10.4f} {entry['vector']['wall_s']:>11.4f} "
+            f"{entry['speedup']:>7.2f}x  {'yes' if ok else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="benchmark the row vs. vector execution backends",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small row counts + the full differential harness (CI smoke); "
+        "writes no file unless --out is given",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_vector.json unless --quick)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2, help="timing runs per engine (best-of)"
+    )
+    options = parser.parse_args(argv)
+
+    diverged = False
+    if options.quick:
+        differential = run_differential(quick=True)
+        print(render_results(differential))
+        diverged = bool(failures(differential))
+
+    report = run_bench(quick=options.quick, repeat=options.repeat)
+    print(render_report(report))
+    mismatched = [
+        e["scenario"]
+        for e in report["scenarios"]
+        if not (e["results_match"] and e["stats_match"])
+    ]
+    if mismatched:
+        print(f"BACKEND DIVERGENCE in: {', '.join(mismatched)}")
+
+    out_path = options.out
+    if out_path is None and not options.quick:
+        out_path = "BENCH_vector.json"
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {out_path}")
+
+    return 1 if (diverged or mismatched) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

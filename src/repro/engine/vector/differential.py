@@ -1,0 +1,448 @@
+"""Differential equivalence: row backend vs. vector backend, every workload.
+
+The vector backend's correctness story is not "it has tests"; it is "on
+every workload in :mod:`repro.workloads`, both backends produce
+``=ⁿ``-identical multisets (Definition 1's duplicate semantics, NULL
+grouping with NULL) *and* identical per-operator
+:class:`~repro.engine.stats.ExecutionStats`".  This module is that check,
+runnable three ways: from tests, from ``repro bench --quick`` in CI, and
+ad hoc via :func:`run_differential`.
+
+Coverage: SQL queries through the full session stack (parser → planner →
+executor) on every generated workload — including a NULL-infested variant
+exercising NULL group keys and NULL join keys — plus bare-algebra plans
+hitting each physical operator (products, distinct projection, descending
+sorts, 3VL selections, inequality joins, same-side equalities) under a
+matrix of executor configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.algebra.ops import (
+    AggregateSpec,
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    PlanNode,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog.catalog import Database
+from repro.engine.executor import ExecutorConfig, execute
+from repro.engine.stats import ExecutionStats
+from repro.expressions.builder import (
+    and_,
+    avg,
+    between,
+    col,
+    count,
+    count_star,
+    eq,
+    gt,
+    in_,
+    is_null_,
+    like,
+    lt,
+    max_,
+    min_,
+    not_,
+    or_,
+    sum_,
+)
+from repro.session import Session
+from repro.workloads.generators import (
+    TwoTableSpec,
+    make_two_table,
+    populate_employee_department,
+    populate_example4,
+    populate_part_supplier,
+    populate_printer_accounting,
+    populate_retail,
+)
+from repro.workloads.schemas import (
+    make_employee_department,
+    make_part_supplier,
+    make_printer_schema,
+    make_retail_star,
+)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (case, configuration) differential run."""
+
+    case: str
+    config: str
+    results_match: bool
+    stats_match: bool
+    cardinality: int
+
+    @property
+    def ok(self) -> bool:
+        return self.results_match and self.stats_match
+
+
+def stats_signature(stats: ExecutionStats) -> List[Tuple]:
+    """Order-preserving per-operator fingerprint for cross-run comparison.
+
+    Node ids differ between runs (they are object identities), so compare
+    the recorded sequence of (kind, label, inputs, output, work) instead.
+    """
+    return [
+        (s.kind, s.label, s.input_cardinalities, s.output_cardinality, s.work)
+        for s in (stats.nodes[i] for i in stats.order)
+    ]
+
+
+def _config_label(config: ExecutorConfig) -> str:
+    parts = [config.join_algorithm, config.aggregation]
+    if config.exploit_orders:
+        parts.append("exploit_orders")
+    if config.expose_rowids:
+        parts.append("rowids")
+    return "+".join(parts)
+
+
+# -- case catalog ------------------------------------------------------------
+
+
+@dataclass
+class SqlCase:
+    """A SQL query run through the full Session stack in both engines."""
+
+    name: str
+    build: Callable[[bool], Database]  # quick -> populated database
+    sql: str
+
+
+@dataclass
+class PlanCase:
+    """A bare-algebra plan executed directly in both engines."""
+
+    name: str
+    build: Callable[[bool], Database]
+    plan: Callable[[], PlanNode]  # fresh tree per run (node ids are keys)
+
+
+def _example1(quick: bool) -> Database:
+    db = make_employee_department()
+    populate_employee_department(
+        db, n_employees=300 if quick else 3000, n_departments=20, seed=1
+    )
+    return db
+
+
+def _example2(quick: bool) -> Database:
+    db = make_part_supplier()
+    populate_part_supplier(db, n_parts=200 if quick else 1000, n_suppliers=25, seed=2)
+    return db
+
+
+def _example3(quick: bool) -> Database:
+    db = make_printer_schema()
+    populate_printer_accounting(db, n_users=60 if quick else 300, seed=3)
+    return db
+
+
+def _retail(quick: bool) -> Database:
+    db = make_retail_star()
+    populate_retail(db, n_sales=400 if quick else 4000, seed=4)
+    return db
+
+
+def _two_table(quick: bool) -> Database:
+    return make_two_table(
+        TwoTableSpec(n_a=300 if quick else 3000, n_b=40, a_groups=25, seed=5)
+    )
+
+
+def _example4(quick: bool) -> Database:
+    return populate_example4(
+        n_a=300 if quick else 3000, n_b=40, a_groups=250 if quick else 2500,
+        match_rows=30, seed=6,
+    )
+
+
+def _nullable(quick: bool) -> Database:
+    # NULL group keys and NULL join keys, both at once.
+    return make_two_table(
+        TwoTableSpec(
+            n_a=300 if quick else 3000, n_b=40, a_groups=15,
+            match_fraction=0.8, null_fraction=0.15, seed=7,
+        )
+    )
+
+
+SQL_CASES: Tuple[SqlCase, ...] = (
+    SqlCase(
+        "example1/count-per-dept",
+        _example1,
+        "SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS n "
+        "FROM Employee E, Department D "
+        "WHERE E.DeptID = D.DeptID GROUP BY D.DeptID, D.Name",
+    ),
+    SqlCase(
+        "example2/parts-per-supplier",
+        _example2,
+        "SELECT S.SupplierNo, S.Name, COUNT(P.PartNo) AS parts "
+        "FROM Part P, Supplier S "
+        "WHERE P.SupplierNo = S.SupplierNo GROUP BY S.SupplierNo, S.Name",
+    ),
+    SqlCase(
+        "example3/usage-on-dragon",
+        _example3,
+        "SELECT P.PNo, SUM(A.Usage) AS used "
+        "FROM PrinterAuth A, Printer P, UserAccount U "
+        "WHERE A.PNo = P.PNo AND A.UserId = U.UserId "
+        "AND A.Machine = U.Machine AND U.Machine = 'dragon' "
+        "GROUP BY P.PNo",
+    ),
+    SqlCase(
+        "retail/per-customer",
+        _retail,
+        "SELECT C.CustID, C.Name, SUM(S.Amount) AS total "
+        "FROM Sales S, Customer C "
+        "WHERE S.CustID = C.CustID GROUP BY C.CustID, C.Name",
+    ),
+    SqlCase(
+        "retail/by-region",
+        _retail,
+        "SELECT St.Region, COUNT(S.SaleID) AS n, SUM(S.Amount) AS total "
+        "FROM Sales S, Store St "
+        "WHERE S.StoreID = St.StoreID GROUP BY St.Region",
+    ),
+    SqlCase(
+        "two_table/group-sum",
+        _two_table,
+        "SELECT A.GKey, COUNT(A.AId) AS n, SUM(A.Val) AS total "
+        "FROM A, B WHERE A.BRef = B.BId GROUP BY A.GKey",
+    ),
+    SqlCase(
+        "example4/selective-join",
+        _example4,
+        "SELECT A.GKey, COUNT(A.AId) AS n, SUM(A.Val) AS total "
+        "FROM A, B WHERE A.BRef = B.BId GROUP BY A.GKey",
+    ),
+    SqlCase(
+        "nullable/null-group-and-join-keys",
+        _nullable,
+        "SELECT A.GKey, COUNT(A.AId) AS n, SUM(A.Val) AS total, AVG(A.Val) AS av "
+        "FROM A, B WHERE A.BRef = B.BId GROUP BY A.GKey",
+    ),
+    SqlCase(
+        "nullable/scalar-aggregate",
+        _nullable,
+        "SELECT COUNT(A.Val) AS n, MIN(A.Val) AS mn, MAX(A.Val) AS mx FROM A",
+    ),
+)
+
+
+def _plan_all_aggregates() -> PlanNode:
+    return GroupApply(
+        Relation("A", "A"),
+        ["A.GKey"],
+        [
+            AggregateSpec("n", count_star()),
+            AggregateSpec("nv", count(col("A.Val"))),
+            AggregateSpec("s", sum_("A.Val")),
+            AggregateSpec("a", avg("A.Val")),
+            AggregateSpec("mn", min_("A.Val")),
+            AggregateSpec("mx", max_("A.Val")),
+            AggregateSpec("dc", count(col("A.Val"), distinct=True)),
+            AggregateSpec("ds", sum_("A.Val", distinct=True)),
+        ],
+    )
+
+
+def _plan_empty_scalar_aggregate() -> PlanNode:
+    # GROUP BY () over an empty input: zero output rows in the algebra.
+    filtered = Select(Relation("A", "A"), lt(col("A.Val"), -1))
+    return Apply(
+        Group(filtered, ()),
+        [AggregateSpec("n", count_star()), AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def _plan_join_group() -> PlanNode:
+    joined = Join(
+        Relation("A", "A"), Relation("B", "B"), eq(col("A.BRef"), col("B.BId"))
+    )
+    return GroupApply(
+        joined,
+        ["A.GKey"],
+        [AggregateSpec("n", count_star()), AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def _plan_same_side_equality() -> PlanNode:
+    # A.GKey = A.Val binds entirely on the left: it must act as a residual
+    # filter, not a join key (the extract_equi_keys regression).
+    condition = and_(
+        eq(col("A.BRef"), col("B.BId")), eq(col("A.GKey"), col("A.Val"))
+    )
+    return Join(Relation("A", "A"), Relation("B", "B"), condition)
+
+
+def _plan_inequality_join() -> PlanNode:
+    # No usable equi-key: all algorithms fall back to nested loop.
+    small = Select(Relation("B", "B"), lt(col("B.BId"), 6))
+    return Join(Relation("A", "A"), small, lt(col("A.GKey"), col("B.BId")))
+
+
+def _plan_product_distinct() -> PlanNode:
+    left = Project(Relation("A", "A"), ["A.GKey"], distinct=True)
+    return Product(left, Select(Relation("B", "B"), lt(col("B.BId"), 4)))
+
+
+def _plan_threevalued_select() -> PlanNode:
+    condition = or_(
+        and_(in_(col("A.GKey"), 1, 2, 3), between(col("A.Val"), 100, 800)),
+        and_(not_(is_null_(col("A.BRef"))), gt(col("A.Val"), 950)),
+    )
+    return Select(Relation("A", "A"), condition)
+
+
+def _plan_like_select() -> PlanNode:
+    return Select(Relation("B", "B"), like(col("B.Name"), "B1%"))
+
+
+def _plan_sort_mixed() -> PlanNode:
+    return Sort(
+        Project(Relation("A", "A"), ["A.GKey", "A.Val"]),
+        ["A.GKey", "A.Val"],
+        [False, True],
+    )
+
+
+def _plan_sorted_pipelined_group() -> PlanNode:
+    # Sort feeds GroupApply: with exploit_orders + sort aggregation the
+    # grouping skips its sort (pipelined aggregation, §2).
+    return GroupApply(
+        Sort(Relation("A", "A"), ["A.GKey"]),
+        ["A.GKey"],
+        [AggregateSpec("n", count_star()), AggregateSpec("mx", max_("A.Val"))],
+    )
+
+
+PLAN_CASES: Tuple[PlanCase, ...] = (
+    PlanCase("plan/all-aggregates", _nullable, _plan_all_aggregates),
+    PlanCase("plan/empty-scalar-aggregate", _nullable, _plan_empty_scalar_aggregate),
+    PlanCase("plan/join-group", _nullable, _plan_join_group),
+    PlanCase("plan/same-side-equality", _nullable, _plan_same_side_equality),
+    PlanCase("plan/inequality-join", _nullable, _plan_inequality_join),
+    PlanCase("plan/product-distinct", _nullable, _plan_product_distinct),
+    PlanCase("plan/threevalued-select", _nullable, _plan_threevalued_select),
+    PlanCase("plan/like-select", _nullable, _plan_like_select),
+    PlanCase("plan/sort-mixed-directions", _nullable, _plan_sort_mixed),
+    PlanCase("plan/sorted-pipelined-group", _nullable, _plan_sorted_pipelined_group),
+)
+
+#: Executor configurations every plan case runs under.
+PLAN_CONFIGS: Tuple[ExecutorConfig, ...] = (
+    ExecutorConfig(),
+    ExecutorConfig(join_algorithm="nested_loop"),
+    ExecutorConfig(join_algorithm="sort_merge"),
+    ExecutorConfig(aggregation="sort"),
+    ExecutorConfig(aggregation="sort", exploit_orders=True),
+    ExecutorConfig(expose_rowids=True),
+)
+
+#: Executor configurations every SQL case runs under (through the planner).
+SQL_CONFIGS: Tuple[ExecutorConfig, ...] = (
+    ExecutorConfig(),
+    ExecutorConfig(aggregation="sort", exploit_orders=True),
+)
+
+
+def run_differential(quick: bool = True) -> List[CaseResult]:
+    """Run every case through both backends; one :class:`CaseResult` per
+    (case, configuration).  ``quick`` shrinks the data for CI smoke runs."""
+    results: List[CaseResult] = []
+
+    for sql_case in SQL_CASES:
+        db = sql_case.build(quick)
+        for config in SQL_CONFIGS:
+            row_session = Session(db, executor_config=replace(config, engine="row"))
+            vec_session = Session(db, executor_config=replace(config, engine="vector"))
+            row_report = row_session.report(sql_case.sql)
+            vec_report = vec_session.report(sql_case.sql)
+            results.append(
+                CaseResult(
+                    sql_case.name,
+                    _config_label(config),
+                    row_report.result.equals_multiset(vec_report.result),
+                    stats_signature(row_report.stats)
+                    == stats_signature(vec_report.stats),
+                    row_report.result.cardinality,
+                )
+            )
+
+    for plan_case in PLAN_CASES:
+        db = plan_case.build(quick)
+        for config in PLAN_CONFIGS:
+            row_result, row_stats = execute(
+                db, plan_case.plan(), replace(config, engine="row")
+            )
+            vec_result, vec_stats = execute(
+                db, plan_case.plan(), replace(config, engine="vector")
+            )
+            results.append(
+                CaseResult(
+                    plan_case.name,
+                    _config_label(config),
+                    row_result.equals_multiset(vec_result)
+                    and row_result.ordering == vec_result.ordering,
+                    stats_signature(row_stats) == stats_signature(vec_stats),
+                    row_result.cardinality,
+                )
+            )
+
+    return results
+
+
+def failures(results: Sequence[CaseResult]) -> List[CaseResult]:
+    return [r for r in results if not r.ok]
+
+
+def render_results(results: Sequence[CaseResult]) -> str:
+    lines = []
+    for r in results:
+        mark = "ok " if r.ok else "DIVERGED"
+        lines.append(
+            f"{mark:<8} {r.case:<38} [{r.config}] rows={r.cardinality}"
+            + ("" if r.results_match else " results!=")
+            + ("" if r.stats_match else " stats!=")
+        )
+    bad = failures(results)
+    lines.append(
+        f"{len(results)} comparisons, {len(bad)} divergence(s)"
+        if bad
+        else f"{len(results)} comparisons, all equivalent"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="row-vs-vector differential equivalence harness"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run at full (slower) data sizes"
+    )
+    options = parser.parse_args(argv)
+    results = run_differential(quick=not options.full)
+    print(render_results(results))
+    return 1 if failures(results) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

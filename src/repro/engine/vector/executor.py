@@ -1,0 +1,220 @@
+"""The vectorized plan executor: same plans, same stats, columnar inner loops.
+
+:class:`VectorExecutor` walks the identical fused :class:`PlanNode` tree the
+row executor walks, records :class:`NodeStats` under the same node ids with
+the same work formulas, and returns the same result type (a
+:class:`~repro.engine.dataset.DataSet`, materialized from the root batch) —
+only the per-operator inner loops differ.  That contract is what keeps the
+§7 cost study backend-independent, and the differential harness
+(:mod:`repro.engine.vector.differential`) holds it to account.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from repro.algebra.ops import (
+    Apply,
+    Group,
+    GroupApply,
+    Join,
+    PlanNode,
+    Product,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog.catalog import Database
+from repro.engine.dataset import DataSet
+from repro.engine.stats import ExecutionStats, NodeStats
+from repro.engine.vector import kernels
+from repro.engine.vector.batch import ColumnBatch
+from repro.errors import ExecutionError
+from repro.sqltypes.values import SqlValue
+from repro.storage.columnar import table_to_batch
+
+
+class VectorExecutor:
+    """Executes fused logical plans against columnar batches.
+
+    Constructed by :class:`repro.engine.executor.Executor` when
+    ``config.engine == "vector"``; not normally instantiated directly.
+    ``config`` is the shared :class:`ExecutorConfig` (join algorithm,
+    aggregation strategy, RowID exposure, order exploitation).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config,
+        params: Optional[Mapping[str, SqlValue]] = None,
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.params = params
+
+    def run(self, fused: PlanNode) -> Tuple[DataSet, ExecutionStats]:
+        """Execute an already-fused plan; returns (result, statistics)."""
+        stats = ExecutionStats()
+        batch = self._execute(fused, stats)
+        return batch.to_dataset(), stats
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _execute(self, node: PlanNode, stats: ExecutionStats) -> ColumnBatch:
+        if isinstance(node, Relation):
+            return self._scan(node, stats)
+        if isinstance(node, Select):
+            return self._select(node, stats)
+        if isinstance(node, Project):
+            return self._project(node, stats)
+        if isinstance(node, Product):
+            return self._product(node, stats)
+        if isinstance(node, Join):
+            return self._join(node, stats)
+        if isinstance(node, GroupApply):
+            return self._group_apply(node, stats)
+        if isinstance(node, Group):
+            return self._bare_group(node, stats)
+        if isinstance(node, Sort):
+            return self._sort(node, stats)
+        if isinstance(node, Apply):
+            raise ExecutionError(
+                "Apply without Group beneath it; run fuse_group_apply first"
+            )
+        raise ExecutionError(f"cannot execute node {type(node).__name__}")
+
+    # -- operators ----------------------------------------------------------
+
+    def _scan(self, node: Relation, stats: ExecutionStats) -> ColumnBatch:
+        table = self.database.table(node.table_name)
+        batch = table_to_batch(
+            table, node.correlation, expose_rowids=self.config.expose_rowids
+        )
+        stats.record(
+            id(node),
+            NodeStats(node.label(), "scan", (), batch.length, batch.length),
+        )
+        return batch
+
+    def _select(self, node: Select, stats: ExecutionStats) -> ColumnBatch:
+        child = self._execute(node.child, stats)
+        batch, work = kernels.filter_batch(child, node.condition, self.params)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(), "select", (child.length,), batch.length, work
+            ),
+        )
+        return batch
+
+    def _project(self, node: Project, stats: ExecutionStats) -> ColumnBatch:
+        child = self._execute(node.child, stats)
+        batch = kernels.project_batch(child, node.columns)
+        work = child.length
+        if node.distinct:
+            batch, distinct_work = kernels.distinct_batch(batch)
+            work += distinct_work
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(), "project", (child.length,), batch.length, work
+            ),
+        )
+        return batch
+
+    def _product(self, node: Product, stats: ExecutionStats) -> ColumnBatch:
+        left = self._execute(node.left, stats)
+        right = self._execute(node.right, stats)
+        batch, work = kernels.cartesian_product_batch(left, right)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "join",
+                (left.length, right.length),
+                batch.length,
+                work,
+            ),
+        )
+        return batch
+
+    def _join(self, node: Join, stats: ExecutionStats) -> ColumnBatch:
+        left = self._execute(node.left, stats)
+        right = self._execute(node.right, stats)
+        algorithm = self.config.join_algorithm
+        if node.condition is None:
+            batch, work = kernels.cartesian_product_batch(left, right)
+        elif algorithm == "nested_loop":
+            batch, work = kernels.nested_loop_join_batch(
+                left, right, node.condition, self.params
+            )
+        elif algorithm == "sort_merge":
+            batch, work = kernels.sort_merge_join_batch(
+                left, right, node.condition, self.params
+            )
+        else:  # "hash" and "auto": the kernel falls back to NL itself
+            batch, work = kernels.hash_join_batch(
+                left, right, node.condition, self.params
+            )
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(),
+                "join",
+                (left.length, right.length),
+                batch.length,
+                work,
+            ),
+        )
+        return batch
+
+    def _group_apply(self, node: GroupApply, stats: ExecutionStats) -> ColumnBatch:
+        child = self._execute(node.child, stats)
+        if self.config.aggregation == "sort":
+            from repro.engine.sorting import is_sorted_on
+
+            presorted = self.config.exploit_orders and is_sorted_on(
+                child, node.grouping_columns
+            )
+            batch, work = kernels.grouped_aggregate(
+                child,
+                node.grouping_columns,
+                node.aggregates,
+                self.params,
+                mode="sort",
+                presorted=presorted,
+            )
+        else:
+            batch, work = kernels.grouped_aggregate(
+                child, node.grouping_columns, node.aggregates, self.params
+            )
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(), "groupby", (child.length,), batch.length, work
+            ),
+        )
+        return batch
+
+    def _sort(self, node: Sort, stats: ExecutionStats) -> ColumnBatch:
+        child = self._execute(node.child, stats)
+        batch, work = kernels.sort_batch(child, node.columns, node.descending)
+        stats.record(
+            id(node),
+            NodeStats(node.label(), "sort", (child.length,), batch.length, work),
+        )
+        return batch
+
+    def _bare_group(self, node: Group, stats: ExecutionStats) -> ColumnBatch:
+        # G[GA] alone: grouping realized by sorting, rows unchanged.
+        child = self._execute(node.child, stats)
+        batch, work = kernels.sort_batch(child, node.grouping_columns)
+        stats.record(
+            id(node),
+            NodeStats(
+                node.label(), "groupby", (child.length,), batch.length, work
+            ),
+        )
+        return batch

@@ -64,8 +64,8 @@ from repro.sqltypes.values import (
     sql_sub,
 )
 
-def _like_match(value: str, pattern: str) -> bool:
-    """SQL LIKE: ``%`` matches any run, ``_`` matches one character."""
+def like_regex(pattern: str):
+    """Compile a SQL LIKE pattern (``%`` any run, ``_`` one char) to a regex."""
     import re
 
     pieces = []
@@ -76,7 +76,12 @@ def _like_match(value: str, pattern: str) -> bool:
             pieces.append(".")
         else:
             pieces.append(re.escape(ch))
-    return re.fullmatch("".join(pieces), value, flags=re.DOTALL) is not None
+    return re.compile("".join(pieces), flags=re.DOTALL)
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE: ``%`` matches any run, ``_`` matches one character."""
+    return like_regex(pattern).fullmatch(value) is not None
 
 
 _COMPARATORS = {
@@ -136,6 +141,56 @@ class RowScope:
     def from_pairs(cls, names, values) -> "RowScope":
         """Build a scope by zipping parallel name/value sequences."""
         return cls(dict(zip(names, values)))
+
+
+class ReusableRowScope:
+    """A scope over a fixed column layout, rebound to a new row per lookup.
+
+    Building a :class:`RowScope` allocates a dict (and a bare-name index)
+    per row; inner loops that evaluate the same expression against millions
+    of rows under one layout pay that allocation millions of times.  This
+    variant resolves the layout once and :meth:`bind` merely swaps the row
+    tuple — same resolution rules, same error messages, O(1) rebinding.
+    """
+
+    __slots__ = ("_names", "_qualified", "_by_bare", "_row")
+
+    def __init__(self, names) -> None:
+        self._names = tuple(names)
+        # Duplicate qualified names: last one wins, matching dict(zip(...)).
+        self._qualified: dict[str, int] = {}
+        for i, name in enumerate(self._names):
+            self._qualified[name] = i
+        by_bare: dict[str, list[int]] = {}
+        for qualified, i in self._qualified.items():
+            bare = qualified.rsplit(".", 1)[-1]
+            by_bare.setdefault(bare, []).append(i)
+        self._by_bare = by_bare
+        self._row: "tuple[SqlValue, ...]" = ()
+
+    def bind(self, row) -> "ReusableRowScope":
+        """Point the scope at a new row; returns self for call chaining."""
+        self._row = row
+        return self
+
+    def lookup(self, ref: ColumnRef) -> SqlValue:
+        if ref.table:
+            index = self._qualified.get(ref.qualified)
+            if index is None:
+                raise BindingError(f"unknown column: {ref.qualified}")
+            return self._row[index]
+        candidates = self._by_bare.get(ref.column, ())
+        if len(candidates) == 1:
+            return self._row[candidates[0]]
+        if not candidates:
+            raise BindingError(f"unknown column: {ref.column}")
+        raise BindingError(
+            f"ambiguous column {ref.column}: matches "
+            f"{sorted(self._names[i] for i in candidates)}"
+        )
+
+    def names(self) -> "tuple[str, ...]":
+        return self._names
 
 
 def evaluate_scalar(

@@ -46,6 +46,16 @@ class CostWeights:
     output_tuple: float = 0.2       # emitting a result tuple
 
 
+#: Per-backend CPU scale factors.  The vector backend does the *same*
+#: abstract work (its ExecutionStats are identical by contract) but each
+#: unit is cheaper — columnar batches amortize interpretation overhead and
+#: the numeric fast paths run at C speed.  The factor is deliberately
+#: uniform across operators so plan comparisons (who wins, where the
+#: crossover falls) are backend-independent: switching engines rescales
+#: every candidate's cost by the same constant and never flips a choice.
+ENGINE_CPU_FACTORS: Dict[str, float] = {"row": 1.0, "vector": 0.3}
+
+
 @dataclass
 class PlanCost:
     """A cost total plus the per-node breakdown for explainability."""
@@ -63,16 +73,25 @@ class CostModel:
         estimator: CardinalityEstimator,
         weights: CostWeights = CostWeights(),
         join_algorithm: str = "hash",
+        engine: str = "row",
     ) -> None:
         if join_algorithm not in ("hash", "nested_loop", "sort_merge"):
             raise ValueError(f"bad join_algorithm: {join_algorithm}")
+        if engine not in ENGINE_CPU_FACTORS:
+            raise ValueError(f"bad engine: {engine}")
         self.estimator = estimator
         self.weights = weights
         self.join_algorithm = join_algorithm
+        self.engine = engine
+        self.cpu_factor = ENGINE_CPU_FACTORS[engine]
 
     def cost(self, plan: PlanNode) -> PlanCost:
         by_node: Dict[int, float] = {}
         total, context = self._cost(plan, by_node)
+        factor = self.cpu_factor
+        if factor != 1.0:
+            total *= factor
+            by_node = {node: value * factor for node, value in by_node.items()}
         return PlanCost(total, by_node, context.rows)
 
     # -- recursion -----------------------------------------------------------

@@ -61,12 +61,13 @@ class Planner:
         join_algorithm: str = "hash",
         policy: str = "cost",
         assume_unique_keys: bool = False,
+        engine: str = "row",
     ) -> None:
         if policy not in POLICIES:
             raise PlanningError(f"unknown policy {policy!r}; pick one of {POLICIES}")
         self.database = database
         self.estimator = CardinalityEstimator(database, statistics)
-        self.cost_model = CostModel(self.estimator, weights, join_algorithm)
+        self.cost_model = CostModel(self.estimator, weights, join_algorithm, engine)
         self.policy = policy
         self.assume_unique_keys = assume_unique_keys
 

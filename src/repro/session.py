@@ -284,7 +284,11 @@ class Session:
     def _run_group_query(
         self, query: GroupByJoinQuery, params: Optional[Mapping[str, SqlValue]]
     ) -> QueryReport:
-        planner = Planner(self.database, policy=self.policy)
+        planner = Planner(
+            self.database,
+            policy=self.policy,
+            engine=self.executor_config.engine,
+        )
         choice = planner.choose(query)
         # Fuse Group/Apply before running so the report's plan nodes carry
         # the executor's per-node statistics (the executor would fuse to

@@ -1,0 +1,51 @@
+"""Table → columnar-batch adapters for the vector backend.
+
+A stored :class:`~repro.storage.table.Table` is row-major (a list of
+:class:`Row` objects); the vector engine wants one list per column.  The
+transpose happens once per scan, at C speed via ``zip(*rows)``, and the
+resulting :class:`~repro.engine.vector.batch.ColumnBatch` carries the same
+qualified column names (and optional ``<corr>.#rowid`` column) the row
+executor's scan produces.
+
+The adapter memoizes the batch on the table itself (a column-store cache):
+repeated scans of an unmodified table — self-joins, repeated queries —
+reuse the transposed columns *and* their cached numpy array views.  The
+cache is invalidated by the table's mutation :attr:`~Table.version`.
+Cached batches are safe to share because the vector kernels never mutate
+column data in place.
+"""
+
+from __future__ import annotations
+
+from repro.engine.vector.batch import ColumnBatch
+from repro.storage.table import Table
+
+
+def table_to_batch(
+    table: Table, correlation: str, expose_rowids: bool = False
+) -> ColumnBatch:
+    """Scan ``table`` under ``correlation`` into a columnar batch."""
+    from repro.engine.executor import rowid_column
+
+    cache = getattr(table, "_columnar_cache", None)
+    key = (correlation, expose_rowids)
+    if cache is not None and cache["version"] == table.version:
+        batch = cache["batches"].get(key)
+        if batch is not None:
+            return batch
+    else:
+        cache = {"version": table.version, "batches": {}}
+        table._columnar_cache = cache
+
+    names = [f"{correlation}.{c}" for c in table.column_names()]
+    stored = table.rows()
+    if stored:
+        columns = [list(column) for column in zip(*(row.values for row in stored))]
+    else:
+        columns = [[] for __ in names]
+    if expose_rowids:
+        names.append(rowid_column(correlation))
+        columns.append([row.rowid for row in stored])
+    batch = ColumnBatch(names, columns, length=len(stored))
+    cache["batches"][key] = batch
+    return batch

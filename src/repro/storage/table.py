@@ -31,6 +31,9 @@ class Table:
         self.schema = schema
         self._rows: List[Row] = []
         self._next_rowid = 1
+        #: Bumped on every mutation; lets derived physical representations
+        #: (e.g. the vector backend's columnar scan cache) detect staleness.
+        self.version = 0
         # Per-key duplicate indexes for O(1) key checks.
         self._key_indexes: Dict[Tuple[str, ...], Dict[Tuple, int]] = {
             key: {} for key in schema.candidate_keys()
@@ -76,6 +79,7 @@ class Table:
         self._next_rowid += 1
         self._rows.append(row)
         self._register_keys(row)
+        self.version += 1
         return row
 
     def insert_many(
@@ -93,6 +97,7 @@ class Table:
         self._next_rowid = 1
         for index in self._key_indexes.values():
             index.clear()
+        self.version += 1
 
     def delete_rowids(self, rowids: "set[int] | frozenset[int]") -> int:
         """Remove the rows with the given rowids; returns the count removed.
@@ -115,6 +120,7 @@ class Table:
                 if index.get(key) == row.rowid:
                     del index[key]
         self._rows = [row for row in self._rows if row.rowid not in rowids]
+        self.version += 1
         return len(doomed)
 
     def snapshot(self) -> "tuple":
@@ -131,6 +137,7 @@ class Table:
         self._rows = list(rows)
         self._next_rowid = next_rowid
         self._key_indexes = {key: dict(index) for key, index in indexes.items()}
+        self.version += 1
 
     # -- validation helpers ------------------------------------------------
 

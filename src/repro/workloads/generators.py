@@ -105,6 +105,10 @@ class TwoTableSpec:
       ``"correlated"`` derives it as ``GKey % n_b + 1``, so the eager
       plan's (GKey, BRef) group count stays ≈ ``a_groups`` — the sweep
       benches use this to isolate the group-count lever.
+    * ``null_fraction`` of A rows get NULL in ``GKey``/``BRef``/``Val``
+      (independently per column) — exercising NULL group keys (which
+      group together under ``=ⁿ``) and NULL join keys (which never match
+      under ``=``).
     """
 
     n_a: int = 10000
@@ -113,6 +117,7 @@ class TwoTableSpec:
     match_fraction: float = 1.0
     bref_mode: str = "uniform"
     seed: int = 0
+    null_fraction: float = 0.0
 
 
 def make_two_table(spec: TwoTableSpec) -> Database:
@@ -145,6 +150,13 @@ def make_two_table(spec: TwoTableSpec) -> Database:
     rng = random.Random(spec.seed)
     for b_id in range(1, spec.n_b + 1):
         db.insert("B", [b_id, f"B{b_id}"])
+    from repro.sqltypes.values import NULL
+
+    def maybe_null(value):
+        if spec.null_fraction and rng.random() < spec.null_fraction:
+            return NULL
+        return value
+
     for a_id in range(1, spec.n_a + 1):
         g_key = rng.randint(1, max(1, spec.a_groups))
         if rng.random() >= spec.match_fraction:
@@ -153,7 +165,15 @@ def make_two_table(spec: TwoTableSpec) -> Database:
             b_ref = (g_key % max(1, spec.n_b)) + 1
         else:
             b_ref = rng.randint(1, max(1, spec.n_b))
-        db.insert("A", [a_id, g_key, b_ref, rng.randint(0, 1000)])
+        db.insert(
+            "A",
+            [
+                a_id,
+                maybe_null(g_key),
+                maybe_null(b_ref),
+                maybe_null(rng.randint(0, 1000)),
+            ],
+        )
     return db
 
 

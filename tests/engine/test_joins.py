@@ -115,3 +115,33 @@ class TestExtractEquiKeys:
     def test_none_condition(self):
         pairs, residual = extract_equi_keys(None, left_ds(), right_ds())
         assert pairs == [] and residual is None
+
+    def test_same_side_equality_is_residual_not_key(self):
+        """Regression: ``L.k = L.v`` binds both columns on the left, so it
+        must stay a per-row filter, not become a join key (pairing L.k
+        with a spurious right column would change the join result)."""
+        condition = eq(col("L.k"), col("L.v"))
+        pairs, residual = extract_equi_keys(condition, left_ds(), right_ds())
+        assert pairs == []
+        assert residual is not None
+
+    def test_same_side_equality_mixed_with_real_key(self):
+        condition = and_(
+            eq(col("L.k"), col("R.k")),  # genuine cross-input key
+            eq(col("R.k"), col("R.w")),  # right-side filter
+        )
+        pairs, residual = extract_equi_keys(condition, left_ds(), right_ds())
+        assert pairs == [(0, 0)]
+        assert residual is not None
+
+    @pytest.mark.parametrize("algorithm", [hash_join, sort_merge_join])
+    def test_same_side_equality_filters_rows(self, algorithm):
+        """End to end: the same-side conjunct must drop non-matching rows
+        instead of being silently treated as (or merged into) a key."""
+        left = DataSet(("L.k", "L.v"), [(1, 1), (2, 5), (2, 2)])
+        right = DataSet(("R.k",), [(1,), (2,)])
+        condition = and_(eq(col("L.k"), col("R.k")), eq(col("L.k"), col("L.v")))
+        result, __ = algorithm(left, right, condition)
+        expected, __ = nested_loop_join(left, right, condition)
+        assert result.equals_multiset(expected)
+        assert sorted(row[0] for row in result.rows) == [1, 2]

@@ -1,0 +1,168 @@
+"""DataSet.ordering propagation through operators, on both backends.
+
+``ordering`` is the physical property the §2/§7 optimizations hinge on
+(pipelined aggregation, sort reuse); these tests pin how each operator
+transforms it — and that the vector backend reports the *same* metadata,
+since a backend that silently claimed weaker or stronger orderings would
+change downstream plan behavior while passing multiset comparisons.
+"""
+
+import pytest
+
+from repro.algebra.ops import (
+    AggregateSpec,
+    Apply,
+    Group,
+    Join,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog import Column, Database, PrimaryKeyConstraint, TableSchema
+from repro.engine.dataset import DataSet
+from repro.engine.executor import ExecutorConfig, execute
+from repro.expressions.builder import col, eq, gt, sum_
+from repro.sqltypes import INTEGER
+from repro.sqltypes.values import NULL
+
+BOTH_ENGINES = pytest.mark.parametrize("engine", ["row", "vector"])
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "T",
+            [Column("id", INTEGER), Column("g", INTEGER), Column("v", INTEGER)],
+            [PrimaryKeyConstraint(["id"])],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "S",
+            [Column("g", INTEGER), Column("w", INTEGER)],
+            [PrimaryKeyConstraint(["g"])],
+        )
+    )
+    for i in range(1, 19):
+        database.insert("T", [i, (i * 7) % 5, i * 10])
+    for g in range(0, 5):
+        database.insert("S", [g, g * 100])
+    return database
+
+
+class TestDataSetRules:
+    def test_projection_keeps_longest_leading_prefix(self):
+        ds = DataSet(("a", "b", "c"), [(1, 2, 3)], ordering=("a", "b", "c"))
+        assert ds.project(["a", "b"]).ordering == ("a", "b")
+        assert ds.project(["a", "c"]).ordering == ("a",)
+        assert ds.project(["b", "c"]).ordering == ()
+
+    def test_projection_reorder_of_output_columns_is_irrelevant(self):
+        ds = DataSet(("a", "b"), [(1, 2)], ordering=("a",))
+        assert ds.project(["b", "a"]).ordering == ("a",)
+
+
+class TestOperatorPropagation:
+    def sorted_scan(self):
+        return Sort(Relation("T", "T"), ["T.g"])
+
+    @BOTH_ENGINES
+    def test_selection_preserves(self, db, engine):
+        plan = Select(self.sorted_scan(), gt(col("T.v"), 40))
+        result, __ = execute(db, plan, ExecutorConfig(engine=engine))
+        assert result.ordering == ("T.g",)
+
+    @BOTH_ENGINES
+    def test_projection_truncates_at_dropped_column(self, db, engine):
+        plan = Project(Sort(Relation("T", "T"), ["T.g", "T.id"]), ["T.g", "T.v"])
+        result, __ = execute(db, plan, ExecutorConfig(engine=engine))
+        assert result.ordering == ("T.g",)
+
+    @BOTH_ENGINES
+    def test_distinct_projection_drops(self, db, engine):
+        plan = Project(self.sorted_scan(), ["T.g"], distinct=True)
+        result, __ = execute(db, plan, ExecutorConfig(engine=engine))
+        assert result.ordering == ()
+
+    @BOTH_ENGINES
+    def test_mixed_direction_sort_clears(self, db, engine):
+        plan = Sort(Relation("T", "T"), ["T.g", "T.v"], [False, True])
+        result, __ = execute(db, plan, ExecutorConfig(engine=engine))
+        assert result.ordering == ()
+
+    @BOTH_ENGINES
+    def test_hash_join_produces_no_ordering(self, db, engine):
+        plan = Join(
+            self.sorted_scan(), Relation("S", "S"), eq(col("T.g"), col("S.g"))
+        )
+        result, __ = execute(
+            db, plan, ExecutorConfig(join_algorithm="hash", engine=engine)
+        )
+        assert result.ordering == ()
+
+    @BOTH_ENGINES
+    def test_sort_merge_join_carries_left_key_order(self, db, engine):
+        plan = Join(
+            Relation("T", "T"), Relation("S", "S"), eq(col("T.g"), col("S.g"))
+        )
+        result, __ = execute(
+            db, plan, ExecutorConfig(join_algorithm="sort_merge", engine=engine)
+        )
+        assert result.ordering == ("T.g",)
+
+    @BOTH_ENGINES
+    def test_sort_grouping_output_ordered_on_grouping_columns(self, db, engine):
+        plan = Apply(
+            Group(Relation("T", "T"), ["T.g"]), [AggregateSpec("s", sum_("T.v"))]
+        )
+        result, __ = execute(
+            db, plan, ExecutorConfig(aggregation="sort", engine=engine)
+        )
+        assert result.ordering == ("T.g",)
+        keys = [row[0] for row in result.rows]
+        assert keys == sorted(keys)
+
+    @BOTH_ENGINES
+    def test_hash_grouping_claims_no_ordering(self, db, engine):
+        plan = Apply(
+            Group(self.sorted_scan(), ["T.g"]), [AggregateSpec("s", sum_("T.v"))]
+        )
+        result, __ = execute(
+            db, plan, ExecutorConfig(aggregation="hash", engine=engine)
+        )
+        assert result.ordering == ()
+
+
+class TestExploitOrders:
+    def pipelined_plan(self):
+        return Apply(
+            Group(Sort(Relation("T", "T"), ["T.g"]), ["T.g"]),
+            [AggregateSpec("s", sum_("T.v"))],
+        )
+
+    @BOTH_ENGINES
+    def test_presorted_grouping_skips_resort(self, db, engine):
+        config = ExecutorConfig(
+            aggregation="sort", exploit_orders=True, engine=engine
+        )
+        __, stats = execute(db, self.pipelined_plan(), config)
+        (group_stats,) = stats.by_kind("groupby")
+        assert group_stats.work == 18 + 5  # n + groups, no n·log n term
+
+    @BOTH_ENGINES
+    def test_presorted_grouping_with_null_keys(self, db, engine):
+        db.insert("T", [100, NULL, 1])
+        db.insert("T", [101, NULL, 2])
+        fast, __ = execute(
+            db,
+            self.pipelined_plan(),
+            ExecutorConfig(aggregation="sort", exploit_orders=True, engine=engine),
+        )
+        reference, __ = execute(
+            db, self.pipelined_plan(), ExecutorConfig(aggregation="hash")
+        )
+        assert fast.equals_multiset(reference)
+        assert fast.ordering == ("T.g",)

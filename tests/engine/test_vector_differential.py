@@ -1,0 +1,22 @@
+"""The backend-equivalence harness, run in its quick configuration.
+
+One test, broad net: every workload (including the NULL-infested variant)
+times every executor configuration, row backend vs. vector backend,
+compared under ``=ⁿ`` multiset semantics plus ordering metadata plus the
+per-operator stats signature.  Any divergence fails with the offending
+case's label.
+"""
+
+from repro.engine.vector.differential import failures, run_differential
+
+
+def test_every_case_equivalent_across_backends():
+    results = run_differential(quick=True)
+    assert results, "harness produced no comparisons"
+    broken = failures(results)
+    assert not broken, "backends diverge on: " + ", ".join(
+        "{} [{}] results_match={} stats_match={}".format(
+            r.case, r.config, r.results_match, r.stats_match
+        )
+        for r in broken
+    )
