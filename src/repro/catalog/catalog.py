@@ -133,6 +133,11 @@ class Database:
                     next((k for k, rid in index.items() if rid == row.rowid), None),
                     None,
                 )
+            # The rollback mutates _rows, so it must bump the version like
+            # every other mutation path: derived physical representations
+            # (columnar scan caches) key on it and must never serve the
+            # transiently-inserted row.
+            table.version += 1
             raise
 
     def insert_many(

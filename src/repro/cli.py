@@ -32,7 +32,7 @@ import sys
 from typing import Iterable, Optional, TextIO
 
 from repro.catalog.catalog import Database
-from repro.errors import ReproError
+from repro.errors import ReproError, error_exit_code
 from repro.optimizer.planner import POLICIES
 from repro.parser.ast_nodes import SelectStatement, SetOperationStatement
 from repro.parser.binder import execute_statement
@@ -70,6 +70,11 @@ class Shell:
         self.session = session if session is not None else Session()
         self.out = out
         self.done = False
+        #: Exit code of the most recent failed statement, by error family:
+        #: parse=2, bind=3, execution=4, resource=5.  Sticky — later
+        #: successes do not clear it — so piped and script runs exit
+        #: nonzero when anything failed.
+        self.exit_code = 0
 
     def write(self, text: str) -> None:
         self.out.write(text + "\n")
@@ -189,6 +194,7 @@ class Shell:
                 execute_statement(self.session.database, statement)
                 self.write("ok")
         except ReproError as error:
+            self.exit_code = error_exit_code(error)
             self.write(f"error: {error}")
 
     def _explain(self, sql: str) -> None:
@@ -200,6 +206,7 @@ class Shell:
             report = self.session.report(sql)
             self.write(report.explain(certify=certify))
         except ReproError as error:
+            self.exit_code = error_exit_code(error)
             self.write(f"error: {error}")
 
     def _run_script(self, path: str) -> None:
@@ -210,11 +217,13 @@ class Shell:
             with open(path) as handle:
                 text = handle.read()
         except OSError as error:
+            self.exit_code = 2
             self.write(f"error: {error}")
             return
         try:
             statements = parse_script(text)
         except ReproError as error:
+            self.exit_code = error_exit_code(error)
             self.write(f"error: {error}")
             return
         ran = 0
@@ -227,6 +236,7 @@ class Shell:
                     execute_statement(self.session.database, statement)
                 ran += 1
             except ReproError as error:
+                self.exit_code = error_exit_code(error)
                 self.write(f"error in statement {ran + 1}: {error}")
                 return
         self.write(f"ran {ran} statements")
@@ -306,9 +316,60 @@ def _explain_command(arguments: list, out: TextIO = sys.stdout) -> int:
     return 0
 
 
+def _extract_budget_flags(arguments: list):
+    """Strip ``--timeout SECONDS`` and ``--memory-limit BYTES`` from an
+    argument list; returns (remaining, ExecutorConfig or None).
+
+    The flags build the session's resource budget
+    (:class:`~repro.engine.executor.ExecutorConfig` ``timeout_seconds`` /
+    ``memory_limit_bytes``); a malformed value raises ``ValueError`` with
+    a usage message.
+    """
+    from repro.engine.executor import ExecutorConfig
+
+    remaining: list = []
+    timeout: Optional[float] = None
+    memory_limit: Optional[int] = None
+    i = 0
+    while i < len(arguments):
+        argument = arguments[i]
+        name, __, inline = argument.partition("=")
+        if name in ("--timeout", "--memory-limit"):
+            if not inline:
+                i += 1
+                if i >= len(arguments):
+                    raise ValueError(f"{name} requires a value")
+                inline = arguments[i]
+            try:
+                if name == "--timeout":
+                    timeout = float(inline)
+                else:
+                    memory_limit = int(inline)
+            except ValueError:
+                raise ValueError(f"bad {name} value: {inline!r}") from None
+        else:
+            remaining.append(argument)
+        i += 1
+    if timeout is None and memory_limit is None:
+        return remaining, None
+    try:
+        config = ExecutorConfig(
+            timeout_seconds=timeout, memory_limit_bytes=memory_limit
+        )
+    except ValueError as error:
+        raise ValueError(str(error)) from None
+    return remaining, config
+
+
 def main(argv: Optional[Iterable[str]] = None) -> int:
     """Entry point: subcommands (``lint``, ``explain``), or script paths
-    followed by a REPL."""
+    followed by a REPL.
+
+    Global ``--timeout`` / ``--memory-limit`` flags set the session's
+    resource budget.  Failed statements set distinct exit codes by error
+    family — parse=2, bind=3, execution=4, resource=5 — surfaced when
+    input comes from scripts or a pipe (the interactive REPL stays 0).
+    """
     arguments = list(argv if argv is not None else sys.argv[1:])
     if arguments and arguments[0] == "lint":
         return _lint_command(arguments[1:])
@@ -318,13 +379,21 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         from repro.engine.vector.bench import main as bench_main
 
         return bench_main(arguments[1:])
-    shell = Shell()
+    try:
+        arguments, budget = _extract_budget_flags(arguments)
+    except ValueError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    session = Session(executor_config=budget) if budget is not None else None
+    shell = Shell(session)
     for path in arguments:
         shell._run_script(path)
+        if shell.exit_code:
+            return shell.exit_code
     if not sys.stdin.isatty():
         # Piped input: same accumulation rules as the interactive loop.
         feed_lines(shell, sys.stdin.read().splitlines())
-        return 0
+        return shell.exit_code
     shell.write("groupby-pushdown SQL shell — .help for commands")
     buffer = ""
     while not shell.done:

@@ -21,6 +21,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.ops import AggregateSpec
 from repro.engine.dataset import DataSet
+from repro.engine.governor import (
+    PartitionedSpill,
+    ResourceGovernor,
+    estimate_table_bytes,
+    external_sort_rows,
+)
 from repro.errors import ExecutionError
 from repro.expressions.ast import (
     Aggregate,
@@ -155,12 +161,17 @@ def hash_group(
     grouping_columns: Sequence[str],
     specs: Sequence[AggregateSpec],
     params: Optional[Mapping[str, SqlValue]] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Tuple[DataSet, int]:
     """Hash-based GROUP BY + F(AA).  Returns (result, work units).
 
     Work is one unit per input row (hashing) plus one per produced group.
     With no grouping columns, the whole input is one group and exactly one
     output row is produced (SQL scalar-aggregate semantics).
+
+    When a governor signals pressure on the grouping state, the input is
+    hash-partitioned to disk and each partition is aggregated separately;
+    first-appearance indexes restore the exact in-memory group order.
     """
     # GROUP BY semantics, including GROUP BY () with empty grouping columns:
     # an empty input yields zero groups, hence zero output rows.  This is
@@ -168,8 +179,19 @@ def hash_group(
     # of the Main Theorem (Section 5, Case 1).
     group_indexes = dataset.indexes_of(grouping_columns)
     extract = _values_extractor(group_indexes)
+    if governor is not None:
+        state_bytes = estimate_table_bytes(
+            dataset.cardinality, len(dataset.columns)
+        )
+        if governor.should_spill(state_bytes, "group by"):
+            return _spilled_hash_group(
+                dataset, grouping_columns, specs, params,
+                governor, group_indexes, extract, state_bytes,
+            )
     groups: Dict[Tuple, List[Tuple[SqlValue, ...]]] = {}
     for row in dataset.rows:
+        if governor is not None:
+            governor.tick("group by")
         key = group_key(extract(row))
         groups.setdefault(key, []).append(row)
 
@@ -188,12 +210,66 @@ def hash_group(
     return result, work
 
 
+def _spilled_hash_group(
+    dataset: DataSet,
+    grouping_columns: Sequence[str],
+    specs: Sequence[AggregateSpec],
+    params: Optional[Mapping[str, SqlValue]],
+    governor: ResourceGovernor,
+    group_indexes: Sequence[int],
+    extract,
+    state_bytes: int,
+) -> Tuple[DataSet, int]:
+    """Partitioned GROUP BY: spill input by group-key hash, aggregate each
+    partition in memory.
+
+    All rows of a group land in one partition (same key, same hash), so
+    per-group aggregation is exact.  Each group remembers the input index
+    of its first row; sorting the output on that index reproduces the
+    in-memory dict's insertion (first-appearance) order exactly.
+    """
+    partitions = governor.spill_partitions(state_bytes)
+    spill = governor.spill_manager()
+    chunk = max(16, governor.rows_per_run(len(dataset.columns)) // partitions)
+    parts = PartitionedSpill(spill, partitions, chunk, "group")
+    for index, row in enumerate(dataset.rows):
+        governor.tick("group by partition")
+        parts.add(hash(group_key(extract(row))) % partitions, (index, row))
+    governor.note_spill(parts.rows_added, "group by")
+
+    keyed_out: List[Tuple[int, Tuple[SqlValue, ...]]] = []
+    for partition in range(partitions):
+        groups: Dict[Tuple, Tuple[int, List[Tuple[SqlValue, ...]]]] = {}
+        for index, row in parts.read(partition):
+            governor.tick("group by")
+            key = group_key(extract(row))
+            entry = groups.get(key)
+            if entry is None:
+                groups[key] = (index, [row])
+            else:
+                entry[1].append(row)
+        for first_index, rows in groups.values():
+            representative = rows[0]
+            group_values = tuple(representative[i] for i in group_indexes)
+            agg_values = tuple(
+                evaluate_aggregate_expression(spec.expression, dataset, rows, params)
+                for spec in specs
+            )
+            keyed_out.append((first_index, group_values + agg_values))
+    keyed_out.sort(key=lambda item: item[0])
+    out_rows = [row for __, row in keyed_out]
+    result = DataSet(_output_columns(grouping_columns, dataset, specs), out_rows)
+    work = dataset.cardinality + len(out_rows)
+    return result, work
+
+
 def sort_group(
     dataset: DataSet,
     grouping_columns: Sequence[str],
     specs: Sequence[AggregateSpec],
     params: Optional[Mapping[str, SqlValue]] = None,
     presorted: bool = False,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Tuple[DataSet, int]:
     """Sort-based GROUP BY with pipelined aggregation.
 
@@ -214,9 +290,19 @@ def sort_group(
     if presorted:
         ordered = dataset.rows
     else:
-        ordered = sorted(
-            dataset.rows, key=lambda row: sort_key(extract(row))
-        )
+        sort_by = lambda row: sort_key(extract(row))
+        if governor is not None and governor.should_spill(
+            estimate_table_bytes(dataset.cardinality, len(dataset.columns)),
+            "sort group",
+        ):
+            # External runs + stable merge: the identical permutation an
+            # in-memory stable sort produces, so identical group order.
+            ordered = external_sort_rows(
+                dataset.rows, sort_by, len(dataset.columns), governor,
+                "group-sort",
+            )
+        else:
+            ordered = sorted(dataset.rows, key=sort_by)
 
     out_rows: List[Tuple[SqlValue, ...]] = []
     current_key: Optional[Tuple] = None
@@ -234,6 +320,8 @@ def sort_group(
         out_rows.append(group_values + agg_values)
 
     for row in ordered:
+        if governor is not None:
+            governor.tick("sort group")
         key = group_key(extract(row))
         if key != current_key:
             flush()
@@ -257,10 +345,15 @@ def sort_group(
     return result, work
 
 
-def distinct(dataset: DataSet) -> Tuple[DataSet, int]:
+def distinct(
+    dataset: DataSet,
+    governor: Optional[ResourceGovernor] = None,
+) -> Tuple[DataSet, int]:
     """π^D duplicate elimination under ``=ⁿ`` semantics (hash-based)."""
     seen: Dict[Tuple, Tuple[SqlValue, ...]] = {}
     for row in dataset.rows:
+        if governor is not None:
+            governor.tick("distinct")
         seen.setdefault(group_key(row), row)
     result = DataSet(dataset.columns, seen.values())
     return result, dataset.cardinality

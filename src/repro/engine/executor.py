@@ -32,12 +32,18 @@ from repro.algebra.ops import (
     fuse_group_apply,
 )
 from repro.catalog.catalog import Database
-from repro.engine import joins
+from repro.engine import faults, joins
 from repro.engine.aggregation import distinct, hash_group, sort_group
 from repro.engine.dataset import DataSet
+from repro.engine.governor import CancellationToken, ResourceGovernor
 from repro.engine.sorting import sort_dataset
 from repro.engine.stats import ExecutionStats, NodeStats
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    MemoryLimitExceeded,
+    ReproError,
+    annotate_operator,
+)
 from repro.expressions.eval import evaluate_predicate
 from repro.sqltypes.values import SqlValue
 
@@ -64,6 +70,24 @@ class ExecutorConfig:
       (columnar batches + compiled kernels,
       :class:`repro.engine.vector.VectorExecutor`).  Both backends produce
       ``=ⁿ``-identical results and identical :class:`ExecutionStats`.
+
+    Resource budget (enforced by the per-execution
+    :class:`~repro.engine.governor.ResourceGovernor`; all optional):
+
+    * ``memory_limit_bytes``: estimated working-set cap for blocking
+      operators — over it they spill to disk, or raise
+      :class:`~repro.errors.MemoryLimitExceeded` when ``spill=False``.
+    * ``timeout_seconds``: wall-clock budget; overrunning raises
+      :class:`~repro.errors.QueryTimeout` at the next check point.
+    * ``max_rows``: cap on any single operator's output cardinality
+      (:class:`~repro.errors.RowLimitExceeded`).
+    * ``spill`` / ``spill_dir``: allow spilling, and where (a fresh
+      temp directory under ``spill_dir`` or the system default).
+    * ``cancellation``: a :class:`~repro.engine.governor.CancellationToken`
+      observed cooperatively at operator and row-loop boundaries.
+    * ``degrade``: let a vector-engine kernel failure retry that operator
+      on the row engine instead of failing the query (resource errors
+      never degrade).
     """
 
     join_algorithm: str = "auto"
@@ -72,6 +96,13 @@ class ExecutorConfig:
     exploit_orders: bool = False
     verify: bool = False
     engine: str = "row"
+    memory_limit_bytes: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+    max_rows: Optional[int] = None
+    spill: bool = True
+    spill_dir: Optional[str] = None
+    cancellation: Optional[CancellationToken] = None
+    degrade: bool = True
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
@@ -80,6 +111,12 @@ class ExecutorConfig:
             raise ValueError(f"bad aggregation: {self.aggregation}")
         if self.engine not in ("row", "vector"):
             raise ValueError(f"bad engine: {self.engine}")
+        if self.memory_limit_bytes is not None and self.memory_limit_bytes <= 0:
+            raise ValueError("memory_limit_bytes must be positive")
+        if self.timeout_seconds is not None and self.timeout_seconds < 0:
+            raise ValueError("timeout_seconds must be non-negative")
+        if self.max_rows is not None and self.max_rows < 0:
+            raise ValueError("max_rows must be non-negative")
 
 
 class Executor:
@@ -105,7 +142,13 @@ class Executor:
 
             return VectorExecutor(self.database, self.config, self.params).run(fused)
         stats = ExecutionStats()
-        result = self._execute(fused, stats)
+        governor = ResourceGovernor.from_config(self.config)
+        try:
+            result = self._execute(fused, stats, governor)
+        finally:
+            stats.spill_count = governor.spill_count
+            stats.spilled_rows = governor.spilled_rows
+            governor.close()
         return result, stats
 
     def _verify(self, plan: PlanNode, fused: PlanNode) -> None:
@@ -134,23 +177,55 @@ class Executor:
 
     # -- dispatch -----------------------------------------------------------
 
-    def _execute(self, node: PlanNode, stats: ExecutionStats) -> DataSet:
+    def _execute(
+        self,
+        node: PlanNode,
+        stats: ExecutionStats,
+        governor: ResourceGovernor,
+        position: str = "",
+    ) -> DataSet:
+        """One operator frame: budget check, fault point, dispatch, and
+        breadcrumb annotation of anything that escapes.
+
+        ``position`` marks which child of a binary parent this is ("L"/"R");
+        breadcrumbs accumulate innermost-first as an error propagates up,
+        so the final message reads failing-operator → plan-root.
+        """
+        label = node.label()
+        frame = f"{position}:{label}" if position else label
+        try:
+            governor.check(label)
+            faults.injection_point("row", label)
+            result = self._dispatch(node, stats, governor)
+            governor.charge_rows(result.cardinality, label)
+            return result
+        except MemoryError as error:
+            converted = MemoryLimitExceeded(f"allocation failed: {error}")
+            annotate_operator(converted, frame)
+            raise converted from error
+        except ReproError as error:
+            annotate_operator(error, frame)
+            raise
+
+    def _dispatch(
+        self, node: PlanNode, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
         if isinstance(node, Relation):
             return self._scan(node, stats)
         if isinstance(node, Select):
-            return self._select(node, stats)
+            return self._select(node, stats, governor)
         if isinstance(node, Project):
-            return self._project(node, stats)
+            return self._project(node, stats, governor)
         if isinstance(node, Product):
-            return self._product(node, stats)
+            return self._product(node, stats, governor)
         if isinstance(node, Join):
-            return self._join(node, stats)
+            return self._join(node, stats, governor)
         if isinstance(node, GroupApply):
-            return self._group_apply(node, stats)
+            return self._group_apply(node, stats, governor)
         if isinstance(node, Group):
-            return self._bare_group(node, stats)
+            return self._bare_group(node, stats, governor)
         if isinstance(node, Sort):
-            return self._sort(node, stats)
+            return self._sort(node, stats, governor)
         if isinstance(node, Apply):
             raise ExecutionError(
                 "Apply without Group beneath it; run fuse_group_apply first"
@@ -175,18 +250,20 @@ class Executor:
         )
         return dataset
 
-    def _select(self, node: Select, stats: ExecutionStats) -> DataSet:
-        child = self._execute(node.child, stats)
+    def _select(
+        self, node: Select, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
+        child = self._execute(node.child, stats, governor)
         from repro.expressions.eval import ReusableRowScope
 
         scope = ReusableRowScope(child.columns)
-        out_rows = [
-            row
-            for row in child.rows
+        out_rows = []
+        for row in child.rows:
+            governor.tick("select")
             if evaluate_predicate(
                 node.condition, scope.bind(row), self.params
-            ).is_true()
-        ]
+            ).is_true():
+                out_rows.append(row)
         # Filtering preserves any known sort order.
         dataset = DataSet(child.columns, out_rows, ordering=child.ordering)
         stats.record(
@@ -201,12 +278,14 @@ class Executor:
         )
         return dataset
 
-    def _project(self, node: Project, stats: ExecutionStats) -> DataSet:
-        child = self._execute(node.child, stats)
+    def _project(
+        self, node: Project, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
+        child = self._execute(node.child, stats, governor)
         projected = child.project(node.columns)
         work = child.cardinality
         if node.distinct:
-            projected, distinct_work = distinct(projected)
+            projected, distinct_work = distinct(projected, governor)
             work += distinct_work
         stats.record(
             id(node),
@@ -220,10 +299,12 @@ class Executor:
         )
         return projected
 
-    def _product(self, node: Product, stats: ExecutionStats) -> DataSet:
-        left = self._execute(node.left, stats)
-        right = self._execute(node.right, stats)
-        dataset, work = joins.cartesian_product(left, right)
+    def _product(
+        self, node: Product, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
+        left = self._execute(node.left, stats, governor, "L")
+        right = self._execute(node.right, stats, governor, "R")
+        dataset, work = joins.cartesian_product(left, right, governor)
         stats.record(
             id(node),
             NodeStats(
@@ -236,18 +317,26 @@ class Executor:
         )
         return dataset
 
-    def _join(self, node: Join, stats: ExecutionStats) -> DataSet:
-        left = self._execute(node.left, stats)
-        right = self._execute(node.right, stats)
+    def _join(
+        self, node: Join, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
+        left = self._execute(node.left, stats, governor, "L")
+        right = self._execute(node.right, stats, governor, "R")
         algorithm = self.config.join_algorithm
         if node.condition is None:
-            dataset, work = joins.cartesian_product(left, right)
+            dataset, work = joins.cartesian_product(left, right, governor)
         elif algorithm == "nested_loop":
-            dataset, work = joins.nested_loop_join(left, right, node.condition, self.params)
+            dataset, work = joins.nested_loop_join(
+                left, right, node.condition, self.params, governor
+            )
         elif algorithm == "sort_merge":
-            dataset, work = joins.sort_merge_join(left, right, node.condition, self.params)
+            dataset, work = joins.sort_merge_join(
+                left, right, node.condition, self.params, governor
+            )
         else:  # "hash" and "auto": hash_join falls back to NL itself
-            dataset, work = joins.hash_join(left, right, node.condition, self.params)
+            dataset, work = joins.hash_join(
+                left, right, node.condition, self.params, governor
+            )
         stats.record(
             id(node),
             NodeStats(
@@ -260,8 +349,10 @@ class Executor:
         )
         return dataset
 
-    def _group_apply(self, node: GroupApply, stats: ExecutionStats) -> DataSet:
-        child = self._execute(node.child, stats)
+    def _group_apply(
+        self, node: GroupApply, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
+        child = self._execute(node.child, stats, governor)
         if self.config.aggregation == "sort":
             from repro.engine.sorting import is_sorted_on
 
@@ -270,11 +361,12 @@ class Executor:
             )
             dataset, work = sort_group(
                 child, node.grouping_columns, node.aggregates, self.params,
-                presorted=presorted,
+                presorted=presorted, governor=governor,
             )
         else:
             dataset, work = hash_group(
-                child, node.grouping_columns, node.aggregates, self.params
+                child, node.grouping_columns, node.aggregates, self.params,
+                governor,
             )
         stats.record(
             id(node),
@@ -288,9 +380,11 @@ class Executor:
         )
         return dataset
 
-    def _sort(self, node: Sort, stats: ExecutionStats) -> DataSet:
-        child = self._execute(node.child, stats)
-        dataset, work = sort_dataset(child, node.columns, node.descending)
+    def _sort(
+        self, node: Sort, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
+        child = self._execute(node.child, stats, governor)
+        dataset, work = sort_dataset(child, node.columns, node.descending, governor)
         stats.record(
             id(node),
             NodeStats(
@@ -303,11 +397,13 @@ class Executor:
         )
         return dataset
 
-    def _bare_group(self, node: Group, stats: ExecutionStats) -> DataSet:
+    def _bare_group(
+        self, node: Group, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> DataSet:
         # G[GA] alone: the defining SQL is SELECT * FROM R ORDER BY GA —
         # grouping realized by sorting, rows unchanged.
-        child = self._execute(node.child, stats)
-        dataset, work = sort_dataset(child, node.grouping_columns)
+        child = self._execute(node.child, stats, governor)
+        dataset, work = sort_dataset(child, node.grouping_columns, governor=governor)
         stats.record(
             id(node),
             NodeStats(

@@ -1,0 +1,132 @@
+"""Deterministic fault injection at operator boundaries.
+
+The resilience contract ("every execution completes within budget or
+degrades/fails in a typed, attributable way") is only testable if faults
+can be *planted*: this module lets tests arm a process-wide
+:class:`FaultInjector` that fires at exactly one operator dispatch of one
+engine, chosen by (engine, operator label, occurrence).  Both executors
+call :func:`injection_point` at every operator — the row engine before
+running an operator's body, the vector engine inside the kernel guard
+(after the children, so a fault exercises the degradation ladder rather
+than re-running the subtree).
+
+Three fault kinds, mirroring the failure modes production engines see:
+
+* ``"kernel"`` — an operator implementation blows up
+  (:class:`KernelFault`): the vector engine must degrade the operator to
+  the row engine; the row engine must surface a typed error carrying the
+  operator breadcrumb.
+* ``"alloc"`` — an allocation fails (raises :class:`MemoryError`): the
+  executor frame converts it to the typed
+  :class:`~repro.errors.MemoryLimitExceeded`; never degradable.
+* ``"timeout"`` — the operator overruns its wall-clock budget (raises
+  :class:`~repro.errors.QueryTimeout` directly); never degradable.
+
+Injection is deterministic (no randomness, no clocks): the Nth matching
+visit fires, so a test matrix can hit every operator of every plan
+exactly once.  Use the :func:`inject` context manager; nesting is not
+supported (one active injector per process).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError, QueryTimeout
+
+
+class KernelFault(ExecutionError):
+    """An injected operator-kernel failure (see :mod:`repro.engine.faults`)."""
+
+
+@dataclass
+class FaultSpec:
+    """One planted fault: fire ``kind`` at the ``occurrence``-th visit of a
+    matching injection point.
+
+    ``engine`` is ``"row"``, ``"vector"``, or ``None`` (either);
+    ``label`` is the exact operator label (``None`` matches any operator).
+    """
+
+    kind: str  # "kernel" | "alloc" | "timeout"
+    engine: Optional[str] = None
+    label: Optional[str] = None
+    occurrence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kernel", "alloc", "timeout"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def matches(self, engine: str, label: str) -> bool:
+        if self.engine is not None and self.engine != engine:
+            return False
+        if self.label is not None and self.label != label:
+            return False
+        return True
+
+
+@dataclass
+class FaultInjector:
+    """Counts injection-point visits and fires armed specs."""
+
+    specs: Tuple[FaultSpec, ...]
+    visits: List[Tuple[str, str]] = field(default_factory=list)
+    fired: List[Tuple[FaultSpec, str, str]] = field(default_factory=list)
+    _matched: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._matched = [0] * len(self.specs)
+
+    def visit(self, engine: str, label: str) -> None:
+        self.visits.append((engine, label))
+        for i, spec in enumerate(self.specs):
+            if not spec.matches(engine, label):
+                continue
+            seen = self._matched[i]
+            self._matched[i] = seen + 1
+            if seen != spec.occurrence:
+                continue
+            self.fired.append((spec, engine, label))
+            if spec.kind == "kernel":
+                raise KernelFault(
+                    f"injected kernel fault in {engine} engine"
+                )
+            if spec.kind == "alloc":
+                raise MemoryError(
+                    f"injected allocation failure in {engine} engine"
+                )
+            raise QueryTimeout(
+                f"injected timeout in {engine} engine"
+            )
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(injector: Optional[FaultInjector]) -> None:
+    """Arm (or with ``None`` disarm) the process-wide injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def active() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+def injection_point(engine: str, label: str) -> None:
+    """Called by the executors at every operator; no-op unless armed."""
+    if _ACTIVE is not None:
+        _ACTIVE.visit(engine, label)
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[FaultInjector]:
+    """Arm ``specs`` for the duration of a ``with`` block."""
+    injector = FaultInjector(tuple(specs))
+    install(injector)
+    try:
+        yield injector
+    finally:
+        install(None)

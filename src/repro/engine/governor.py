@@ -1,0 +1,403 @@
+"""The resource governor: per-query budgets, cancellation, spill signals.
+
+Every execution — row or vector backend — runs under a
+:class:`ResourceGovernor` built from the :class:`ExecutorConfig` budget
+(``memory_limit_bytes``, ``timeout_seconds``, ``max_rows``, an optional
+:class:`CancellationToken`).  Operators cooperate with it three ways:
+
+* :meth:`~ResourceGovernor.check` / :meth:`~ResourceGovernor.tick` at
+  batch and row-loop boundaries — these raise the typed
+  :class:`~repro.errors.QueryTimeout` / :class:`~repro.errors.QueryCancelled`
+  the resilience contract promises (never a hang, never a bare error);
+* :meth:`~ResourceGovernor.charge_rows` on every materialized operator
+  output — the ``max_rows`` backstop against runaway joins;
+* :meth:`~ResourceGovernor.should_spill` before building blocking state
+  (hash-join build sides, grouping state, sort buffers) — ``True`` tells
+  the operator to partition to disk; if spilling is disabled
+  (``spill=False``) the governor raises
+  :class:`~repro.errors.MemoryLimitExceeded` instead.
+
+Memory is metered by a *deterministic estimate* (:func:`estimate_table_bytes`),
+not by live allocator probes: both backends compute the same estimate from
+(cardinality, arity) alone, so they make identical spill decisions and stay
+result- and stats-identical — the differential harness depends on that.
+
+The governor is per-execution state (created in ``Executor.run``); the
+:class:`CancellationToken` is the long-lived handle a controlling thread or
+signal handler flips.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    MemoryLimitExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    RowLimitExceeded,
+)
+
+#: Deterministic per-value and per-row cost of a materialized Python row.
+#: Chosen to approximate CPython's real footprint (pointer-sized slots plus
+#: boxed values) while staying platform-independent, so spill decisions are
+#: reproducible everywhere.
+VALUE_BYTES = 56
+ROW_OVERHEAD_BYTES = 64
+
+#: How many row-loop iterations pass between two real budget checks in
+#: :meth:`ResourceGovernor.tick` — cancellation/timeout latency is bounded
+#: by this many rows of work.
+TICK_INTERVAL = 256
+
+
+def estimate_row_bytes(arity: int) -> int:
+    """Deterministic estimate of one materialized row of ``arity`` values."""
+    return ROW_OVERHEAD_BYTES + VALUE_BYTES * max(arity, 1)
+
+
+def estimate_table_bytes(cardinality: int, arity: int) -> int:
+    """Deterministic estimate of a materialized (rows × columns) relation."""
+    return cardinality * estimate_row_bytes(arity)
+
+
+class CancellationToken:
+    """A cooperative cancellation handle.
+
+    ``cancel()`` may be called from any thread (or a signal handler); the
+    executing query observes it at its next batch/row-loop boundary and
+    raises :class:`~repro.errors.QueryCancelled`.  Tokens are one-shot but
+    may be shared across several queries of a session.
+    """
+
+    __slots__ = ("_cancelled", "reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self.reason: str = ""
+
+    def cancel(self, reason: str = "") -> None:
+        self.reason = reason or self.reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancellationToken(cancelled={self._cancelled})"
+
+
+class SpillManager:
+    """Owns a query's spill directory and its temporary run files.
+
+    Created lazily by the governor on the first spill; removed (with all
+    spill files) when the governor is closed at the end of the execution,
+    successful or not.
+    """
+
+    def __init__(self, base_dir: Optional[str] = None) -> None:
+        self.directory = tempfile.mkdtemp(prefix="repro-spill-", dir=base_dir)
+        self._counter = 0
+        self.files_written = 0
+        self.rows_spilled = 0
+
+    def new_path(self, hint: str = "run") -> str:
+        self._counter += 1
+        return os.path.join(self.directory, f"{hint}-{self._counter:05d}.bin")
+
+    def write_rows(self, rows: Sequence[tuple], hint: str = "run") -> str:
+        """Persist a chunk of rows; returns the file path."""
+        path = self.new_path(hint)
+        with open(path, "wb") as handle:
+            pickle.dump(list(rows), handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self.files_written += 1
+        self.rows_spilled += len(rows)
+        return path
+
+    @staticmethod
+    def read_rows(path: str) -> List[tuple]:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def close(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpillManager({self.directory}, {self.files_written} files)"
+
+
+class PartitionedSpill:
+    """Hash-partitioned spill writer: buffers rows per partition, flushing
+    full buffers to disk as sequential chunks.
+
+    Reading a partition back replays its chunks in write order, so the
+    per-partition row order is exactly the input order — the property the
+    grace hash join and spilled grouping rely on to reproduce in-memory
+    output order bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        spill: SpillManager,
+        partitions: int,
+        chunk_rows: int,
+        hint: str = "part",
+    ) -> None:
+        self.spill = spill
+        self.partitions = partitions
+        self.chunk_rows = max(16, chunk_rows)
+        self.hint = hint
+        self._buffers: List[List[tuple]] = [[] for __ in range(partitions)]
+        self._paths: List[List[str]] = [[] for __ in range(partitions)]
+        self.rows_added = 0
+
+    def add(self, partition: int, row: tuple) -> None:
+        self.rows_added += 1
+        buffer = self._buffers[partition]
+        buffer.append(row)
+        if len(buffer) >= self.chunk_rows:
+            self._paths[partition].append(
+                self.spill.write_rows(buffer, self.hint)
+            )
+            buffer.clear()
+
+    def read(self, partition: int) -> Iterator[tuple]:
+        """All rows of one partition, in the order they were added.
+
+        The final partial buffer is served from memory — it never grew
+        past ``chunk_rows``, so it is within the budget by construction.
+        """
+        for path in self._paths[partition]:
+            for row in self.spill.read_rows(path):
+                yield row
+        for row in self._buffers[partition]:
+            yield row
+
+
+class ResourceGovernor:
+    """Meters one execution against its declared budget.
+
+    All limits are optional; with none set every method is a cheap no-op
+    check.  ``clock`` is injectable for deterministic timeout tests.
+    """
+
+    def __init__(
+        self,
+        memory_limit_bytes: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        spill_enabled: bool = True,
+        spill_dir: Optional[str] = None,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.memory_limit_bytes = memory_limit_bytes
+        self.timeout_seconds = timeout_seconds
+        self.max_rows = max_rows
+        self.spill_enabled = spill_enabled
+        self.spill_dir = spill_dir
+        self.token = token
+        self.clock = clock
+        self.started = clock()
+        self.deadline = (
+            self.started + timeout_seconds if timeout_seconds is not None else None
+        )
+        self.rows_emitted = 0
+        self.spill_count = 0
+        self.spilled_rows = 0
+        self._ticks = 0
+        self._spill_manager: Optional[SpillManager] = None
+
+    @classmethod
+    def from_config(cls, config) -> "ResourceGovernor":
+        """Build a governor from an ``ExecutorConfig``."""
+        return cls(
+            memory_limit_bytes=config.memory_limit_bytes,
+            timeout_seconds=config.timeout_seconds,
+            max_rows=config.max_rows,
+            spill_enabled=config.spill,
+            spill_dir=config.spill_dir,
+            token=config.cancellation,
+        )
+
+    # -- cancellation and time ----------------------------------------------
+
+    def check(self, label: str = "") -> None:
+        """A full budget check: cancellation first, then the deadline.
+
+        Called at operator boundaries (and by every :meth:`tick`-th loop
+        iteration); raising here is what makes cancellation and timeouts
+        *cooperative* rather than preemptive.
+        """
+        token = self.token
+        if token is not None and token.cancelled:
+            reason = f" ({token.reason})" if token.reason else ""
+            raise QueryCancelled(f"query cancelled{reason}")
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise QueryTimeout(
+                f"query exceeded timeout of {self.timeout_seconds}s"
+            )
+
+    def tick(self, label: str = "") -> None:
+        """A row-loop boundary: every :data:`TICK_INTERVAL` calls does a
+        real :meth:`check`; the rest cost one integer increment."""
+        self._ticks += 1
+        if self._ticks % TICK_INTERVAL == 0:
+            self.check(label)
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self.clock())
+
+    # -- rows ----------------------------------------------------------------
+
+    def charge_rows(self, produced: int, label: str = "") -> None:
+        """Account an operator's materialized output against ``max_rows``."""
+        self.rows_emitted += produced
+        if self.max_rows is not None and produced > self.max_rows:
+            where = f" at {label}" if label else ""
+            raise RowLimitExceeded(
+                f"operator produced {produced} rows, over the max_rows "
+                f"budget of {self.max_rows}{where}"
+            )
+
+    # -- memory and spilling -------------------------------------------------
+
+    def should_spill(self, estimated_bytes: int, label: str = "") -> bool:
+        """Must a blocking operator partition ``estimated_bytes`` of state
+        to disk?  Raises :class:`MemoryLimitExceeded` when over budget with
+        spilling disabled — the typed, attributable failure mode."""
+        if self.memory_limit_bytes is None:
+            return False
+        if estimated_bytes <= self.memory_limit_bytes:
+            return False
+        if not self.spill_enabled:
+            where = f" at {label}" if label else ""
+            raise MemoryLimitExceeded(
+                f"operator state of ~{estimated_bytes} bytes exceeds the "
+                f"memory budget of {self.memory_limit_bytes} bytes and "
+                f"spilling is disabled{where}"
+            )
+        return True
+
+    def spill_partitions(self, estimated_bytes: int) -> int:
+        """How many disk partitions bring ``estimated_bytes`` under budget.
+
+        One extra partition of headroom so hash skew rarely re-overflows;
+        deterministic, so both backends partition identically.
+        """
+        limit = self.memory_limit_bytes or estimated_bytes
+        return max(2, -(-estimated_bytes // max(limit, 1)) + 1)
+
+    def rows_per_run(self, arity: int) -> int:
+        """External-sort run length that fits the memory budget."""
+        if self.memory_limit_bytes is None:
+            return 1 << 30
+        return max(16, self.memory_limit_bytes // estimate_row_bytes(arity))
+
+    def note_spill(self, rows: int, label: str = "") -> None:
+        """Record that an operator spilled ``rows`` rows to disk."""
+        self.spill_count += 1
+        self.spilled_rows += rows
+
+    def spill_manager(self) -> SpillManager:
+        if self._spill_manager is None:
+            self._spill_manager = SpillManager(self.spill_dir)
+        return self._spill_manager
+
+    def close(self) -> None:
+        """Release spill files; called when the execution finishes."""
+        if self._spill_manager is not None:
+            self._spill_manager.close()
+            self._spill_manager = None
+
+
+#: A governor with no limits: the default for direct operator-function
+#: calls (tests, library use) that never constructed an Executor.
+def unlimited() -> ResourceGovernor:
+    return ResourceGovernor()
+
+
+# -- external merge ----------------------------------------------------------
+
+
+class _ReverseKey:
+    """Inverts comparison, turning a descending sort key into an ascending
+    one — so one composite-key sort reproduces the engine's multi-pass
+    stable mixed-direction sort exactly."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseKey) and other.key == self.key
+
+
+def merge_sorted_runs(
+    run_paths: Sequence[str],
+    key: Callable[[tuple], object],
+    spill: SpillManager,
+) -> Iterator[tuple]:
+    """K-way merge of sorted spill runs, stable across run order.
+
+    ``heapq.merge`` breaks key ties by iterator position, and runs are
+    supplied in input order — so the merged sequence is exactly the
+    permutation a single stable in-memory sort would produce.
+    """
+    iterators: List[Iterator[tuple]] = [
+        iter(spill.read_rows(path)) for path in run_paths
+    ]
+    return heapq.merge(*iterators, key=key)
+
+
+def external_sort_rows(
+    rows: Iterable[tuple],
+    key: Callable[[tuple], object],
+    arity: int,
+    governor: ResourceGovernor,
+    label: str = "sort",
+) -> List[tuple]:
+    """Sort ``rows`` by ``key`` through bounded-memory disk runs.
+
+    Splits the input into governor-sized runs, sorts each with the same
+    stable sort the in-memory path uses, spills them, and k-way merges —
+    producing the *identical* row order as ``sorted(rows, key=key)``.
+    The merged output is materialized (the engine's operators exchange
+    materialized relations); what the budget bounds is the working set of
+    the sort itself.
+    """
+    spill = governor.spill_manager()
+    run_length = governor.rows_per_run(arity)
+    run_paths: List[str] = []
+    run: List[tuple] = []
+    total = 0
+    for row in rows:
+        governor.tick(label)
+        run.append(row)
+        if len(run) >= run_length:
+            run.sort(key=key)
+            run_paths.append(spill.write_rows(run, label))
+            total += len(run)
+            run = []
+    if run:
+        run.sort(key=key)
+        if not run_paths:  # everything fit in one run after all
+            return run
+        run_paths.append(spill.write_rows(run, label))
+        total += len(run)
+    governor.note_spill(total, label)
+    merged = list(merge_sorted_runs(run_paths, key, spill))
+    return merged

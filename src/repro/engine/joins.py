@@ -15,6 +15,12 @@ from __future__ import annotations
 from typing import List, Mapping, Optional, Tuple
 
 from repro.engine.dataset import DataSet
+from repro.engine.governor import (
+    PartitionedSpill,
+    ResourceGovernor,
+    estimate_table_bytes,
+    external_sort_rows,
+)
 from repro.expressions.analysis import classify_atomic, Type2Condition
 from repro.expressions.ast import Expression
 from repro.expressions.eval import ReusableRowScope, evaluate_predicate
@@ -86,6 +92,7 @@ def nested_loop_join(
     right: DataSet,
     condition: Optional[Expression],
     params: Optional[Mapping[str, SqlValue]] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Tuple[DataSet, int]:
     """Examine every pair; work = |L| × |R| (the paper's join-size metric)."""
     columns = _combined(left, right)
@@ -93,6 +100,8 @@ def nested_loop_join(
     scope = ReusableRowScope(columns)
     for left_row in left.rows:
         for right_row in right.rows:
+            if governor is not None:
+                governor.tick("nested loop join")
             combined = left_row + right_row
             if condition is None or evaluate_predicate(
                 condition, scope.bind(combined), params
@@ -107,16 +116,33 @@ def hash_join(
     right: DataSet,
     condition: Optional[Expression],
     params: Optional[Mapping[str, SqlValue]] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Tuple[DataSet, int]:
     """Hash join on extracted equi-keys; falls back to nested loop when the
-    condition has no usable equality.  Work = |L| + |R| + matches examined."""
+    condition has no usable equality.  Work = |L| + |R| + matches examined.
+
+    When a governor signals memory pressure on the build side, the join
+    switches to a grace (partitioned) strategy that spills both inputs to
+    disk and joins partition-by-partition — producing the identical output
+    rows in the identical order, with the identical work count.
+    """
     pairs, residual = extract_equi_keys(condition, left, right)
     if not pairs:
-        return nested_loop_join(left, right, condition, params)
+        return nested_loop_join(left, right, condition, params, governor)
 
     columns = _combined(left, right)
     left_keys = [p[0] for p in pairs]
     right_keys = [p[1] for p in pairs]
+
+    if governor is not None:
+        build_bytes = estimate_table_bytes(
+            right.cardinality, len(right.columns)
+        )
+        if governor.should_spill(build_bytes, "hash join build"):
+            return _grace_hash_join(
+                left, right, columns, left_keys, right_keys,
+                residual, params, governor, build_bytes,
+            )
 
     table: dict = {}
     for right_row in right.rows:
@@ -129,6 +155,8 @@ def hash_join(
     probes = 0
     scope = ReusableRowScope(columns)
     for left_row in left.rows:
+        if governor is not None:
+            governor.tick("hash join probe")
         key_values = tuple(left_row[i] for i in left_keys)
         if any(is_null(v) for v in key_values):
             continue
@@ -143,22 +171,90 @@ def hash_join(
     return DataSet(columns, out_rows), work
 
 
+def _grace_hash_join(
+    left: DataSet,
+    right: DataSet,
+    columns: Tuple[str, ...],
+    left_keys: List[int],
+    right_keys: List[int],
+    residual: Optional[Expression],
+    params: Optional[Mapping[str, SqlValue]],
+    governor: ResourceGovernor,
+    build_bytes: int,
+) -> Tuple[DataSet, int]:
+    """Grace hash join: partition both sides to disk, join per partition.
+
+    Equal keys hash to the same partition, so every left row meets exactly
+    the right rows it would have met in memory, in right-input order.
+    Each probe row is tagged with its original left index and the merged
+    output is stably re-sorted on that index, reproducing the in-memory
+    probe order exactly.  Probe counts (and hence work) are unchanged.
+    """
+    partitions = governor.spill_partitions(build_bytes)
+    spill = governor.spill_manager()
+    chunk = max(16, governor.rows_per_run(len(columns)) // partitions)
+
+    build = PartitionedSpill(spill, partitions, chunk, "join-build")
+    for right_row in right.rows:
+        governor.tick("hash join partition")
+        key_values = tuple(right_row[i] for i in right_keys)
+        if any(is_null(v) for v in key_values):
+            continue  # NULL keys never match under `=`
+        build.add(hash(key_values) % partitions, right_row)
+
+    probe = PartitionedSpill(spill, partitions, chunk, "join-probe")
+    for index, left_row in enumerate(left.rows):
+        governor.tick("hash join partition")
+        key_values = tuple(left_row[i] for i in left_keys)
+        if any(is_null(v) for v in key_values):
+            continue
+        probe.add(hash(key_values) % partitions, (index, left_row))
+    governor.note_spill(build.rows_added + probe.rows_added, "hash join")
+
+    tagged: List[Tuple[int, Tuple[SqlValue, ...]]] = []
+    probes = 0
+    scope = ReusableRowScope(columns)
+    for partition in range(partitions):
+        table: dict = {}
+        for right_row in build.read(partition):
+            governor.tick("hash join build")
+            key_values = tuple(right_row[i] for i in right_keys)
+            table.setdefault(key_values, []).append(right_row)
+        for index, left_row in probe.read(partition):
+            governor.tick("hash join probe")
+            key_values = tuple(left_row[i] for i in left_keys)
+            for right_row in table.get(key_values, ()):
+                probes += 1
+                combined = left_row + right_row
+                if residual is None or evaluate_predicate(
+                    residual, scope.bind(combined), params
+                ).is_true():
+                    tagged.append((index, combined))
+    tagged.sort(key=lambda item: item[0])
+    out_rows = [row for __, row in tagged]
+    work = left.cardinality + right.cardinality + probes
+    return DataSet(columns, out_rows), work
+
+
 def sort_merge_join(
     left: DataSet,
     right: DataSet,
     condition: Optional[Expression],
     params: Optional[Mapping[str, SqlValue]] = None,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Tuple[DataSet, int]:
     """Sort-merge join on extracted equi-keys (nested-loop fallback).
 
     Rows with NULL keys are skipped before the merge (they cannot match).
     Work = sort costs (n log n approximations) + merge scan + matches.
+    Under memory pressure each sort phase runs as an external merge sort
+    (same stable permutation, so identical output), signalled per side.
     """
     import math
 
     pairs, residual = extract_equi_keys(condition, left, right)
     if not pairs:
-        return nested_loop_join(left, right, condition, params)
+        return nested_loop_join(left, right, condition, params, governor)
 
     columns = _combined(left, right)
     left_keys = [p[0] for p in pairs]
@@ -178,21 +274,23 @@ def sort_merge_join(
     right_filtered = [
         row for row in right.rows if not any(is_null(row[i]) for i in right_keys)
     ]
-    left_sorted = (
-        left_filtered
-        if left_presorted
-        else sorted(
-            left_filtered,
-            key=lambda row: sort_key(tuple(row[i] for i in left_keys)),
-        )
+    def sorted_side(filtered, keys, presorted, arity, side):
+        if presorted:
+            return filtered
+        key = lambda row: sort_key(tuple(row[i] for i in keys))
+        if governor is not None and governor.should_spill(
+            estimate_table_bytes(len(filtered), arity), f"sort-merge {side}"
+        ):
+            return external_sort_rows(
+                filtered, key, arity, governor, f"merge-{side}"
+            )
+        return sorted(filtered, key=key)
+
+    left_sorted = sorted_side(
+        left_filtered, left_keys, left_presorted, len(left.columns), "left"
     )
-    right_sorted = (
-        right_filtered
-        if right_presorted
-        else sorted(
-            right_filtered,
-            key=lambda row: sort_key(tuple(row[i] for i in right_keys)),
-        )
+    right_sorted = sorted_side(
+        right_filtered, right_keys, right_presorted, len(right.columns), "right"
     )
 
     out_rows: List[Tuple[SqlValue, ...]] = []
@@ -200,6 +298,8 @@ def sort_merge_join(
     scope = ReusableRowScope(columns)
     i = j = 0
     while i < len(left_sorted) and j < len(right_sorted):
+        if governor is not None:
+            governor.tick("sort-merge join")
         left_key = sort_key(tuple(left_sorted[i][k] for k in left_keys))
         right_key = sort_key(tuple(right_sorted[j][k] for k in right_keys))
         if left_key < right_key:
@@ -244,10 +344,23 @@ def sort_merge_join(
     return DataSet(columns, out_rows, ordering=ordering), work
 
 
-def cartesian_product(left: DataSet, right: DataSet) -> Tuple[DataSet, int]:
+def cartesian_product(
+    left: DataSet,
+    right: DataSet,
+    governor: Optional[ResourceGovernor] = None,
+) -> Tuple[DataSet, int]:
     """L × R with no condition; work = |L| × |R|."""
     columns = _combined(left, right)
-    out_rows = [
-        left_row + right_row for left_row in left.rows for right_row in right.rows
-    ]
+    if governor is None:
+        out_rows = [
+            left_row + right_row
+            for left_row in left.rows
+            for right_row in right.rows
+        ]
+    else:
+        out_rows = []
+        for left_row in left.rows:
+            for right_row in right.rows:
+                governor.tick("cartesian product")
+                out_rows.append(left_row + right_row)
     return DataSet(columns, out_rows), left.cardinality * right.cardinality

@@ -32,14 +32,32 @@ class NodeStats:
 
 @dataclass
 class ExecutionStats:
-    """All operator stats for one plan execution."""
+    """All operator stats for one plan execution.
+
+    Besides the per-operator cardinality/work records, carries the
+    resilience counters: ``degradations`` (vector kernels that fell back
+    to the row engine, with the operator label and cause in
+    ``degradation_events``) and ``spill_count``/``spilled_rows`` (blocking
+    operators that partitioned state to disk under memory pressure).
+    """
 
     nodes: Dict[int, NodeStats] = field(default_factory=dict)
     order: List[int] = field(default_factory=list)
+    degradations: int = 0
+    degradation_events: List[str] = field(default_factory=list)
+    spill_count: int = 0
+    spilled_rows: int = 0
 
     def record(self, node_id: int, stats: NodeStats) -> None:
         self.nodes[node_id] = stats
         self.order.append(node_id)
+
+    def note_degradation(self, label: str, error: BaseException) -> None:
+        """One vector operator retried on the row engine (and why)."""
+        self.degradations += 1
+        self.degradation_events.append(
+            f"{label}: {type(error).__name__}: {error}"
+        )
 
     def by_kind(self, kind: str) -> List[NodeStats]:
         return [self.nodes[i] for i in self.order if self.nodes[i].kind == kind]
@@ -77,4 +95,11 @@ class ExecutionStats:
                 f"work={s.work:<10} {s.label}"
             )
         lines.append(f"total work: {self.total_work()}")
+        if self.spill_count:
+            lines.append(
+                f"spills: {self.spill_count} ({self.spilled_rows} rows to disk)"
+            )
+        if self.degradations:
+            lines.append(f"degradations: {self.degradations}")
+            lines.extend(f"  {event}" for event in self.degradation_events)
         return "\n".join(lines)

@@ -210,24 +210,38 @@ def _engine_report(seconds: float, stats: ExecutionStats) -> Dict:
         "total_work": stats.total_work(),
         "groupby_input_rows": stats.groupby_input_rows(),
         "join_input_sizes": stats.join_input_sizes(),
+        "spills": stats.spill_count,
+        "spilled_rows": stats.spilled_rows,
     }
 
 
-def run_bench(quick: bool = False, repeat: int = 2) -> Dict:
-    """Time every scenario in both engines; returns the full report dict."""
+def run_bench(
+    quick: bool = False,
+    repeat: int = 2,
+    memory_limit_bytes: Optional[int] = None,
+) -> Dict:
+    """Time every scenario in both engines; returns the full report dict.
+
+    ``memory_limit_bytes`` runs every scenario under that working-set
+    budget — blocking operators spill to disk, and the equality checks
+    then cover the external paths (the resilience smoke the CI bench job
+    exercises).
+    """
     report: Dict = {
         "benchmark": "row-vs-vector backend",
         "quick": quick,
         "repeat": repeat,
+        "memory_limit_bytes": memory_limit_bytes,
         "scenarios": [],
     }
     for scenario in scenarios(quick):
         db = scenario.build()
+        base = replace(scenario.config, memory_limit_bytes=memory_limit_bytes)
         row_s, row_result, row_stats = _time_engine(
-            db, scenario.plan, replace(scenario.config, engine="row"), repeat
+            db, scenario.plan, replace(base, engine="row"), repeat
         )
         vec_s, vec_result, vec_stats = _time_engine(
-            db, scenario.plan, replace(scenario.config, engine="vector"), repeat
+            db, scenario.plan, replace(base, engine="vector"), repeat
         )
         entry = {
             "scenario": scenario.name,
@@ -283,6 +297,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--repeat", type=int, default=2, help="timing runs per engine (best-of)"
     )
+    parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="run every scenario under this working-set budget "
+        "(blocking operators spill to disk)",
+    )
     options = parser.parse_args(argv)
 
     diverged = False
@@ -290,8 +312,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         differential = run_differential(quick=True)
         print(render_results(differential))
         diverged = bool(failures(differential))
+        if options.memory_limit is not None:
+            budgeted = run_differential(
+                quick=True, overrides={"memory_limit_bytes": options.memory_limit}
+            )
+            leaks = failures(budgeted)
+            spilled = sum(r.row_spills for r in budgeted)
+            print(
+                f"budgeted differential ({options.memory_limit} bytes): "
+                f"{len(budgeted)} cases, {spilled} spills, "
+                f"{len(leaks)} divergences"
+            )
+            diverged = diverged or bool(leaks)
 
-    report = run_bench(quick=options.quick, repeat=options.repeat)
+    report = run_bench(
+        quick=options.quick,
+        repeat=options.repeat,
+        memory_limit_bytes=options.memory_limit,
+    )
     print(render_report(report))
     mismatched = [
         e["scenario"]

@@ -83,6 +83,12 @@ class CaseResult:
     results_match: bool
     stats_match: bool
     cardinality: int
+    #: Spill counts per backend — excluded from the stats signature (they
+    #: are resilience accounting, not operator semantics) but reported so
+    #: budgeted sweeps can assert both backends made identical spill
+    #: decisions.
+    row_spills: int = 0
+    vector_spills: int = 0
 
     @property
     def ok(self) -> bool:
@@ -361,16 +367,29 @@ SQL_CONFIGS: Tuple[ExecutorConfig, ...] = (
 )
 
 
-def run_differential(quick: bool = True) -> List[CaseResult]:
+def run_differential(
+    quick: bool = True, overrides: Optional[dict] = None
+) -> List[CaseResult]:
     """Run every case through both backends; one :class:`CaseResult` per
-    (case, configuration).  ``quick`` shrinks the data for CI smoke runs."""
+    (case, configuration).  ``quick`` shrinks the data for CI smoke runs.
+
+    ``overrides`` merges extra :class:`ExecutorConfig` fields into every
+    configuration — e.g. ``{"memory_limit_bytes": 4096}`` re-runs the whole
+    matrix under memory pressure, asserting the spill paths stay
+    result- and stats-identical across backends.
+    """
     results: List[CaseResult] = []
+    extra = overrides or {}
 
     for sql_case in SQL_CASES:
         db = sql_case.build(quick)
         for config in SQL_CONFIGS:
-            row_session = Session(db, executor_config=replace(config, engine="row"))
-            vec_session = Session(db, executor_config=replace(config, engine="vector"))
+            row_session = Session(
+                db, executor_config=replace(config, engine="row", **extra)
+            )
+            vec_session = Session(
+                db, executor_config=replace(config, engine="vector", **extra)
+            )
             row_report = row_session.report(sql_case.sql)
             vec_report = vec_session.report(sql_case.sql)
             results.append(
@@ -381,6 +400,8 @@ def run_differential(quick: bool = True) -> List[CaseResult]:
                     stats_signature(row_report.stats)
                     == stats_signature(vec_report.stats),
                     row_report.result.cardinality,
+                    row_report.stats.spill_count,
+                    vec_report.stats.spill_count,
                 )
             )
 
@@ -388,10 +409,10 @@ def run_differential(quick: bool = True) -> List[CaseResult]:
         db = plan_case.build(quick)
         for config in PLAN_CONFIGS:
             row_result, row_stats = execute(
-                db, plan_case.plan(), replace(config, engine="row")
+                db, plan_case.plan(), replace(config, engine="row", **extra)
             )
             vec_result, vec_stats = execute(
-                db, plan_case.plan(), replace(config, engine="vector")
+                db, plan_case.plan(), replace(config, engine="vector", **extra)
             )
             results.append(
                 CaseResult(
@@ -401,6 +422,8 @@ def run_differential(quick: bool = True) -> List[CaseResult]:
                     and row_result.ordering == vec_result.ordering,
                     stats_signature(row_stats) == stats_signature(vec_stats),
                     row_result.cardinality,
+                    row_stats.spill_count,
+                    vec_stats.spill_count,
                 )
             )
 
@@ -409,6 +432,160 @@ def run_differential(quick: bool = True) -> List[CaseResult]:
 
 def failures(results: Sequence[CaseResult]) -> List[CaseResult]:
     return [r for r in results if not r.ok]
+
+
+# -- fault-injection matrix ---------------------------------------------------
+
+
+@dataclass
+class FaultOutcome:
+    """One (case, engine, operator, fault kind) injection outcome.
+
+    ``mode`` is how the fault surfaced: ``"degraded"`` (vector kernel fell
+    back to the row engine and the results matched the unfaulted run),
+    ``"typed-error"`` (a :class:`~repro.errors.ReproError` carrying the
+    operator breadcrumb), or ``"not-fired"`` (matrix bug: the planted
+    fault never triggered).  ``ok`` means the outcome honours the
+    resilience contract — anything else is a silent divergence.
+    """
+
+    case: str
+    engine: str
+    label: str
+    kind: str
+    mode: str
+    ok: bool
+    detail: str = ""
+
+
+def _operator_labels(stats: ExecutionStats) -> List[str]:
+    """Each executed operator's label, de-duplicated to one occurrence per
+    (label, occurrence) injection coordinate."""
+    return [stats.nodes[i].label for i in stats.order]
+
+
+def _check_fault(
+    case_name: str,
+    engine: str,
+    label: str,
+    occurrence: int,
+    kind: str,
+    run,
+    baseline,
+    base_signature,
+) -> FaultOutcome:
+    """Inject one fault into one execution and classify the outcome."""
+    from repro.engine import faults
+    from repro.errors import ReproError, operator_path
+
+    spec = faults.FaultSpec(
+        kind, engine=engine, label=label, occurrence=occurrence
+    )
+    with faults.inject(spec) as injector:
+        try:
+            result, stats = run()
+        except ReproError as error:
+            path = operator_path(error)
+            ok = bool(injector.fired) and any(label in frame for frame in path)
+            return FaultOutcome(
+                case_name, engine, label, kind, "typed-error", ok, str(error)
+            )
+        except Exception as error:  # bare escape: contract violation
+            return FaultOutcome(
+                case_name, engine, label, kind, "bare-error", False, repr(error)
+            )
+    if not injector.fired:
+        return FaultOutcome(
+            case_name, engine, label, kind, "not-fired", False,
+            "planted fault never triggered",
+        )
+    # The execution completed despite the fault: only legal for a degraded
+    # vector kernel, and only if the fallback reproduced the unfaulted run.
+    ok = (
+        engine == "vector"
+        and kind == "kernel"
+        and stats.degradations >= 1
+        and result.equals_multiset(baseline)
+        and result.ordering == baseline.ordering
+        and stats_signature(stats) == base_signature
+    )
+    return FaultOutcome(
+        case_name, engine, label, kind,
+        "degraded" if ok else "silent-divergence", ok,
+        "" if ok else "completed without matching the unfaulted run",
+    )
+
+
+def run_fault_matrix(
+    quick: bool = True, kinds: Sequence[str] = ("kernel",)
+) -> List[FaultOutcome]:
+    """Inject each fault kind at every operator of every case, both engines.
+
+    For every workload case the unfaulted run enumerates the executed
+    operators; each then gets one injected fault per kind and engine.  The
+    contract: a vector kernel fault degrades to the row engine with results
+    identical to the unfaulted run; every other fault (row kernel faults,
+    allocation failures, timeouts) surfaces as a typed error whose
+    breadcrumb names the faulted operator.  Zero silent divergences.
+    """
+    outcomes: List[FaultOutcome] = []
+
+    def sweep(case_name: str, run) -> None:
+        baseline, base_stats = run()
+        base_signature = stats_signature(base_stats)
+        seen: dict = {}
+        for label in _operator_labels(base_stats):
+            occurrence = seen.get(label, 0)
+            seen[label] = occurrence + 1
+            for kind in kinds:
+                for engine in ("row", "vector"):
+                    outcomes.append(
+                        _check_fault(
+                            case_name, engine, label, occurrence, kind,
+                            lambda engine=engine: run(engine),
+                            baseline, base_signature,
+                        )
+                    )
+
+    for sql_case in SQL_CASES:
+        db = sql_case.build(quick)
+
+        def run_sql(engine: str = "row", db=db, sql=sql_case.sql):
+            session = Session(db, executor_config=ExecutorConfig(engine=engine))
+            report = session.report(sql)
+            return report.result, report.stats
+
+        sweep(sql_case.name, run_sql)
+
+    for plan_case in PLAN_CASES:
+        db = plan_case.build(quick)
+
+        def run_plan(engine: str = "row", db=db, plan=plan_case.plan):
+            return execute(db, plan(), ExecutorConfig(engine=engine))
+
+        sweep(plan_case.name, run_plan)
+
+    return outcomes
+
+
+def fault_failures(outcomes: Sequence[FaultOutcome]) -> List[FaultOutcome]:
+    return [o for o in outcomes if not o.ok]
+
+
+def render_fault_outcomes(outcomes: Sequence[FaultOutcome]) -> str:
+    lines = []
+    for o in fault_failures(outcomes):
+        lines.append(
+            f"FAULT-LEAK {o.case} [{o.engine}] {o.label} ({o.kind}): "
+            f"{o.mode} {o.detail}"
+        )
+    degraded = sum(1 for o in outcomes if o.mode == "degraded")
+    typed = sum(1 for o in outcomes if o.mode == "typed-error")
+    lines.append(
+        f"{len(outcomes)} injections: {degraded} degraded, {typed} typed "
+        f"errors, {len(fault_failures(outcomes))} contract violation(s)"
+    )
+    return "\n".join(lines)
 
 
 def render_results(results: Sequence[CaseResult]) -> str:

@@ -50,6 +50,76 @@ class ExecutionError(ReproError):
     """A runtime failure while evaluating a plan (e.g. bad aggregate input)."""
 
 
+class ResourceError(ExecutionError):
+    """A declared resource budget was exhausted during execution.
+
+    Subtypes name the budget dimension (memory, wall-clock, rows,
+    cancellation).  Resource errors are *not* degradable: the vector
+    engine's kernel-failure fallback never retries them, because the row
+    engine shares the same budget and would only fail later.
+    """
+
+
+class MemoryLimitExceeded(ResourceError):
+    """An operator's working set exceeded ``memory_limit_bytes`` and could
+    not (or was not allowed to) spill to disk."""
+
+
+class QueryTimeout(ResourceError):
+    """Execution exceeded the ``timeout_seconds`` budget."""
+
+
+class QueryCancelled(ResourceError):
+    """The query's :class:`~repro.engine.governor.CancellationToken` was
+    cancelled; raised cooperatively at a batch/row-loop boundary."""
+
+
+class RowLimitExceeded(ResourceError):
+    """An operator produced more rows than the ``max_rows`` budget allows."""
+
+
+def annotate_operator(error: BaseException, frame: str) -> None:
+    """Append a plan-node breadcrumb to an in-flight error.
+
+    Each executor dispatch frame the error propagates through calls this
+    with its operator label, so the final message carries the full path
+    from the failing operator up to the plan root, innermost first —
+    e.g. ``Join[E.DeptID = D.DeptID]/G[D.DeptID] F[cnt]``.  Idempotent
+    per frame; the original message is preserved in ``bare_message``.
+    """
+    path = getattr(error, "operator_path", ())
+    error.operator_path = path + (frame,)  # type: ignore[attr-defined]
+    bare = getattr(error, "bare_message", None)
+    if bare is None:
+        bare = error.args[0] if error.args else str(error)
+        error.bare_message = bare  # type: ignore[attr-defined]
+    error.args = (f"{bare} [at {'/'.join(error.operator_path)}]",)
+
+
+def operator_path(error: BaseException) -> tuple:
+    """The breadcrumb trail attached by :func:`annotate_operator` (may be
+    empty for errors raised outside any operator frame)."""
+    return tuple(getattr(error, "operator_path", ()))
+
+
+def error_exit_code(error: BaseException) -> int:
+    """The ``repro`` CLI's exit-code family for an error.
+
+    parse = 2, bind = 3, execution = 4, resource = 5; unknown repro
+    errors fall into the execution family.  Name-resolution failures
+    (unknown table/column, ambiguous reference) are the bind family
+    whether they surface as :class:`BindingError` or
+    :class:`CatalogError`.
+    """
+    if isinstance(error, ParseError):
+        return 2
+    if isinstance(error, (BindingError, CatalogError)):
+        return 3
+    if isinstance(error, ResourceError):
+        return 5
+    return 4
+
+
 class PlanVerificationError(ExecutionError):
     """Static verification rejected a plan before execution.
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra.ops import AggregateSpec
+from repro.engine import faults
 from repro.core.query_class import GroupByJoinQuery
 from repro.expressions.builder import and_, col, count, eq, lit, max_, min_, sum_
 from repro.fd.derivation import TableBinding
@@ -18,6 +19,28 @@ from repro.workloads.schemas import (
     make_part_supplier,
     make_printer_schema,
 )
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_faults():
+    """Guarantee no test leaves the process-wide fault injector armed."""
+    yield
+    faults.install(None)
+
+
+@pytest.fixture
+def plant_faults():
+    """Arm fault specs for the test body; disarmed automatically.
+
+    Usage: ``injector = plant_faults(FaultSpec("kernel", engine="vector"))``.
+    """
+    def arm(*specs):
+        injector = faults.FaultInjector(tuple(specs))
+        faults.install(injector)
+        return injector
+
+    yield arm
+    faults.install(None)
 
 
 @pytest.fixture

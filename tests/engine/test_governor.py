@@ -1,0 +1,202 @@
+"""The resource governor: budgets, cancellation, spill primitives.
+
+These pin the governor's contract in isolation — deterministic memory
+estimates, cooperative timeout/cancellation, the ``max_rows`` backstop,
+and the external-sort machinery's key property: identical permutations
+to the in-memory stable sort.
+"""
+
+import pytest
+
+from repro.engine.governor import (
+    ROW_OVERHEAD_BYTES,
+    TICK_INTERVAL,
+    VALUE_BYTES,
+    CancellationToken,
+    PartitionedSpill,
+    ResourceGovernor,
+    SpillManager,
+    _ReverseKey,
+    estimate_row_bytes,
+    estimate_table_bytes,
+    external_sort_rows,
+    unlimited,
+)
+from repro.errors import (
+    MemoryLimitExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    RowLimitExceeded,
+)
+
+
+class TestEstimates:
+    def test_row_estimate_is_overhead_plus_values(self):
+        assert estimate_row_bytes(3) == ROW_OVERHEAD_BYTES + 3 * VALUE_BYTES
+
+    def test_zero_arity_still_costs_one_value(self):
+        assert estimate_row_bytes(0) == ROW_OVERHEAD_BYTES + VALUE_BYTES
+
+    def test_table_estimate_scales_by_cardinality(self):
+        assert estimate_table_bytes(10, 2) == 10 * estimate_row_bytes(2)
+
+
+class TestBudgetChecks:
+    def test_no_limits_means_no_op(self):
+        governor = unlimited()
+        governor.check("scan")
+        governor.charge_rows(10**9, "scan")
+        assert governor.should_spill(10**12, "join") is False
+
+    def test_cancellation_raises_with_reason(self):
+        token = CancellationToken()
+        governor = ResourceGovernor(token=token)
+        governor.check("scan")
+        token.cancel("user hit ctrl-c")
+        with pytest.raises(QueryCancelled, match="user hit ctrl-c"):
+            governor.check("scan")
+        assert token.cancelled
+
+    def test_timeout_uses_injectable_clock(self):
+        now = [100.0]
+        governor = ResourceGovernor(timeout_seconds=5.0, clock=lambda: now[0])
+        governor.check("scan")
+        assert governor.remaining_seconds() == pytest.approx(5.0)
+        now[0] = 105.5
+        with pytest.raises(QueryTimeout, match="5.0s"):
+            governor.check("scan")
+        assert governor.remaining_seconds() == 0.0
+
+    def test_tick_checks_only_at_interval(self):
+        now = [0.0]
+        governor = ResourceGovernor(timeout_seconds=1.0, clock=lambda: now[0])
+        now[0] = 2.0  # already past the deadline
+        for __ in range(TICK_INTERVAL - 1):
+            governor.tick("loop")  # cheap increments, no real check yet
+        with pytest.raises(QueryTimeout):
+            governor.tick("loop")
+
+    def test_max_rows_is_per_operator_output(self):
+        governor = ResourceGovernor(max_rows=100)
+        governor.charge_rows(100, "scan")
+        governor.charge_rows(100, "join")  # cumulative total is fine
+        with pytest.raises(RowLimitExceeded, match="max_rows"):
+            governor.charge_rows(101, "product")
+
+
+class TestSpillDecisions:
+    def test_under_budget_stays_in_memory(self):
+        governor = ResourceGovernor(memory_limit_bytes=10_000)
+        assert governor.should_spill(10_000, "join") is False
+
+    def test_over_budget_spills(self):
+        governor = ResourceGovernor(memory_limit_bytes=10_000)
+        assert governor.should_spill(10_001, "join") is True
+
+    def test_over_budget_with_spill_disabled_is_typed_error(self):
+        governor = ResourceGovernor(memory_limit_bytes=10_000, spill_enabled=False)
+        with pytest.raises(MemoryLimitExceeded, match="group by"):
+            governor.should_spill(10_001, "group by")
+
+    def test_partition_count_has_headroom(self):
+        governor = ResourceGovernor(memory_limit_bytes=1000)
+        assert governor.spill_partitions(1001) == 3  # ceil + 1 extra
+        assert governor.spill_partitions(10) == 2  # floor of two
+
+    def test_rows_per_run_fits_budget(self):
+        governor = ResourceGovernor(memory_limit_bytes=10_000)
+        run = governor.rows_per_run(arity=2)
+        assert run == max(16, 10_000 // estimate_row_bytes(2))
+        assert unlimited().rows_per_run(2) == 1 << 30
+
+    def test_note_spill_accumulates(self):
+        governor = unlimited()
+        governor.note_spill(100, "join")
+        governor.note_spill(50, "sort")
+        assert governor.spill_count == 2
+        assert governor.spilled_rows == 150
+
+
+class TestSpillManager:
+    def test_roundtrip_and_cleanup(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        rows = [(1, "a"), (2, "b")]
+        path = manager.write_rows(rows, "run")
+        assert manager.read_rows(path) == rows
+        assert manager.files_written == 1
+        assert manager.rows_spilled == 2
+        manager.close()
+        import os
+
+        assert not os.path.exists(manager.directory)
+
+    def test_governor_close_removes_spill_dir(self, tmp_path):
+        import os
+
+        governor = ResourceGovernor(
+            memory_limit_bytes=100, spill_dir=str(tmp_path)
+        )
+        directory = governor.spill_manager().directory
+        assert os.path.isdir(directory)
+        governor.close()
+        assert not os.path.exists(directory)
+
+
+class TestPartitionedSpill:
+    def test_read_preserves_per_partition_input_order(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        spill = PartitionedSpill(manager, partitions=2, chunk_rows=16, hint="p")
+        for i in range(100):
+            spill.add(i % 2, (i,))
+        assert spill.rows_added == 100
+        evens = [row[0] for row in spill.read(0)]
+        odds = [row[0] for row in spill.read(1)]
+        assert evens == list(range(0, 100, 2))
+        assert odds == list(range(1, 100, 2))
+        manager.close()
+
+    def test_partial_buffer_served_from_memory(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        spill = PartitionedSpill(manager, partitions=1, chunk_rows=64, hint="p")
+        for i in range(10):  # never reaches chunk_rows
+            spill.add(0, (i,))
+        assert manager.files_written == 0
+        assert [row[0] for row in spill.read(0)] == list(range(10))
+        manager.close()
+
+
+class TestExternalSort:
+    def test_matches_in_memory_stable_sort(self, tmp_path):
+        rows = [(i % 7, i) for i in range(500)]
+        governor = ResourceGovernor(
+            memory_limit_bytes=2000, spill_dir=str(tmp_path)
+        )
+        key = lambda row: row[0]  # noqa: E731 - many equal keys: stability matters
+        result = external_sort_rows(rows, key, arity=2, governor=governor)
+        assert result == sorted(rows, key=key)
+        assert governor.spill_count == 1
+        assert governor.spilled_rows == 500
+        governor.close()
+
+    def test_single_run_avoids_disk(self, tmp_path):
+        rows = [(3,), (1,), (2,)]
+        governor = ResourceGovernor(
+            memory_limit_bytes=10**9, spill_dir=str(tmp_path)
+        )
+        result = external_sort_rows(rows, lambda r: r[0], 1, governor)
+        assert result == [(1,), (2,), (3,)]
+        assert governor.spill_count == 0
+        governor.close()
+
+    def test_reverse_key_reproduces_mixed_direction_sort(self, tmp_path):
+        rows = [(i % 3, i % 5, i) for i in range(300)]
+        # The engine sorts mixed directions with successive stable passes;
+        # one composite sort with _ReverseKey must be the same permutation.
+        expected = sorted(rows, key=lambda r: r[1])
+        expected = sorted(expected, key=lambda r: r[0], reverse=True)
+        composite = lambda r: (_ReverseKey(r[0]), r[1])  # noqa: E731
+        governor = ResourceGovernor(
+            memory_limit_bytes=2000, spill_dir=str(tmp_path)
+        )
+        assert external_sort_rows(rows, composite, 3, governor) == expected
+        governor.close()

@@ -1,0 +1,117 @@
+"""CLI exit codes and resource-budget flags.
+
+The contract scripts and pipelines rely on: parse failures exit 2, name
+resolution failures 3, runtime failures 4, exhausted resource budgets 5
+— sticky across later successful statements — and ``--timeout`` /
+``--memory-limit`` build the session's budget.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, _extract_budget_flags, main
+from repro.engine.executor import ExecutorConfig
+from repro.errors import (
+    BindingError,
+    CatalogError,
+    ExecutionError,
+    MemoryLimitExceeded,
+    ParseError,
+    QueryTimeout,
+    error_exit_code,
+)
+from repro.session import Session
+
+
+def make_shell(executor_config=None):
+    out = io.StringIO()
+    shell = Shell(Session(executor_config=executor_config), out=out)
+    return shell, out
+
+
+class TestErrorFamilies:
+    def test_mapping(self):
+        assert error_exit_code(ParseError("x")) == 2
+        assert error_exit_code(BindingError("x")) == 3
+        assert error_exit_code(CatalogError("x")) == 3
+        assert error_exit_code(ExecutionError("x")) == 4
+        assert error_exit_code(MemoryLimitExceeded("x")) == 5
+        assert error_exit_code(QueryTimeout("x")) == 5
+
+    def test_parse_error_sets_2(self):
+        shell, __ = make_shell()
+        shell.handle("SELEKT 1;")
+        assert shell.exit_code == 2
+
+    def test_unknown_table_sets_3(self):
+        shell, __ = make_shell()
+        shell.handle("SELECT X.a FROM Nope X;")
+        assert shell.exit_code == 3
+
+    def test_unknown_column_sets_3(self):
+        shell, __ = make_shell()
+        shell.handle("CREATE TABLE T (a INTEGER);")
+        shell.handle("SELECT T.missing FROM T;")
+        assert shell.exit_code == 3
+
+    def test_timeout_budget_sets_5_and_reports_breadcrumb(self):
+        shell, out = make_shell(ExecutorConfig(timeout_seconds=0))
+        shell.handle("CREATE TABLE T (a INTEGER);")
+        shell.handle("INSERT INTO T VALUES (1);")
+        shell.handle("SELECT T.a FROM T;")
+        assert shell.exit_code == 5
+        assert "timeout" in out.getvalue()
+        assert "[at " in out.getvalue()  # operator breadcrumb in the message
+
+    def test_exit_code_is_sticky(self):
+        shell, __ = make_shell()
+        shell.handle("SELEKT 1;")
+        shell.handle("CREATE TABLE T (a INTEGER);")  # succeeds
+        assert shell.exit_code == 2
+
+
+class TestBudgetFlags:
+    def test_both_forms_parsed(self):
+        remaining, budget = _extract_budget_flags(
+            ["--timeout", "1.5", "x.sql", "--memory-limit=4096"]
+        )
+        assert remaining == ["x.sql"]
+        assert budget.timeout_seconds == 1.5
+        assert budget.memory_limit_bytes == 4096
+
+    def test_no_flags_means_no_budget(self):
+        remaining, budget = _extract_budget_flags(["x.sql"])
+        assert remaining == ["x.sql"]
+        assert budget is None
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ValueError, match="--memory-limit"):
+            _extract_budget_flags(["--memory-limit", "lots"])
+
+    def test_missing_value_raises(self):
+        with pytest.raises(ValueError, match="requires a value"):
+            _extract_budget_flags(["--timeout"])
+
+
+class TestMainExitCodes:
+    def test_bind_error_script_exits_3(self, tmp_path):
+        script = tmp_path / "bad.sql"
+        script.write_text("SELECT X.a FROM Nope X;\n")
+        assert main([str(script)]) == 3
+
+    def test_timeout_flag_exits_5(self, tmp_path):
+        script = tmp_path / "slow.sql"
+        script.write_text(
+            "CREATE TABLE T (a INTEGER);\n"
+            "INSERT INTO T VALUES (1);\n"
+            "SELECT T.a FROM T;\n"
+        )
+        assert main(["--timeout", "0", str(script)]) == 5
+
+    def test_malformed_flag_exits_2(self, capsys):
+        assert main(["--timeout", "soon"]) == 2
+        assert "--timeout" in capsys.readouterr().err
+
+    def test_missing_script_exits_2(self):
+        assert main(["/nonexistent/script.sql"]) == 2

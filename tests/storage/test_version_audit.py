@@ -1,0 +1,118 @@
+"""The ``Table.version`` invariant: every ``_rows`` mutation bumps it.
+
+The vector backend's columnar scan cache is keyed on ``version``; a
+mutation path that changes ``_rows`` without a bump would let a
+mid-session query silently read stale columns.  These tests audit every
+mutation path — including the constraint-violation rollback inside
+``Database.insert`` — and pin the end-to-end symptom: a vector-engine
+query after a mid-session mutation must see the new data.
+"""
+
+import pytest
+
+from repro.algebra.ops import Relation
+from repro.catalog import (
+    Column,
+    Database,
+    ForeignKeyConstraint,
+    PrimaryKeyConstraint,
+    TableSchema,
+)
+from repro.engine.executor import Executor, ExecutorConfig
+from repro.errors import ConstraintViolation
+from repro.session import Session
+from repro.sqltypes import INTEGER
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "P",
+            [Column("id", INTEGER)],
+            [PrimaryKeyConstraint(["id"])],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "C",
+            [Column("id", INTEGER), Column("pid", INTEGER)],
+            [
+                PrimaryKeyConstraint(["id"]),
+                ForeignKeyConstraint(["pid"], "P", ["id"]),
+            ],
+        )
+    )
+    database.insert("P", [1])
+    database.insert("C", [1, 1])
+    return database
+
+
+class TestEveryMutationBumps:
+    def test_insert(self, db):
+        table = db.table("P")
+        before = table.version
+        db.insert("P", [2])
+        assert table.version == before + 1
+
+    def test_failed_insert_rollback_still_bumps(self, db):
+        table = db.table("C")
+        before = table.version
+        rows_before = table.rows()
+        with pytest.raises(ConstraintViolation):
+            db.insert("C", [9, 999])  # no such parent
+        assert table.rows() == rows_before  # no trace of the row...
+        assert table.version > before  # ...but the mutation is versioned
+
+    def test_clear(self, db):
+        table = db.table("C")
+        before = table.version
+        table.clear()
+        assert table.version == before + 1
+
+    def test_delete_rowids(self, db):
+        table = db.table("C")
+        rowid = table.rows()[0].rowid
+        before = table.version
+        assert table.delete_rowids({rowid}) == 1
+        assert table.version == before + 1
+
+    def test_snapshot_restore(self, db):
+        table = db.table("P")
+        snapshot = table.snapshot()
+        db.insert("P", [2])
+        before = table.version
+        table.restore(snapshot)
+        assert table.version == before + 1
+
+
+class TestVectorCacheInvalidation:
+    def test_mid_session_mutation_visible_to_vector_engine(self, db):
+        config = ExecutorConfig(engine="vector")
+        plan = Relation("P", "P")
+        first, __ = Executor(db, config).run(plan)
+        assert first.cardinality == 1  # populates the columnar cache
+        db.insert("P", [2])
+        second, __ = Executor(db, config).run(plan)
+        assert second.cardinality == 2
+        assert sorted(row[0] for row in second.rows) == [1, 2]
+
+    def test_failed_insert_never_leaks_into_vector_scan(self, db):
+        config = ExecutorConfig(engine="vector")
+        plan = Relation("C", "C")
+        baseline, __ = Executor(db, config).run(plan)
+        with pytest.raises(ConstraintViolation):
+            db.insert("C", [9, 999])
+        after, __ = Executor(db, config).run(plan)
+        assert after.rows == baseline.rows
+
+    def test_sql_session_roundtrip_on_vector_engine(self):
+        session = Session(executor_config=ExecutorConfig(engine="vector"))
+        session.execute("CREATE TABLE T (a INTEGER PRIMARY KEY);")
+        session.execute("INSERT INTO T VALUES (1);")
+        first = session.query("SELECT T.a FROM T;")
+        session.execute("INSERT INTO T VALUES (2);")
+        second = session.query("SELECT T.a FROM T;")
+        assert first.cardinality == 1
+        assert second.cardinality == 2
