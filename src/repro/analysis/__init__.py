@@ -17,6 +17,12 @@ Layers:
 * :mod:`repro.analysis.certificates` — machine-checkable *rewrite
   certificates* issued by :func:`repro.core.transform.transform` and
   independently re-validated by :func:`audit_certificate`;
+* :mod:`repro.analysis.nullability` — a three-valued-logic abstract
+  interpreter over predicates (which truth values are reachable when a
+  column is NULL), shared by the rewriter and the checker;
+* :mod:`repro.analysis.equivalence` — the *plan-equivalence checker*:
+  independently re-verifies every :class:`~repro.optimizer.rewrites.RuleCertificate`
+  issued by the certified rewrite pass (R700–R703 diagnostics);
 * :mod:`repro.analysis.linter` — drives the analyzer over SQL scripts and
   the built-in workloads (the ``repro lint`` CLI).
 """
@@ -29,7 +35,13 @@ from repro.analysis.certificates import (
     issue_certificate,
 )
 from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+from repro.analysis.equivalence import verify_rewrite
 from repro.analysis.linter import LintReport, lint_sql, lint_workloads
+from repro.analysis.nullability import (
+    null_rejected_columns,
+    possible_truth_values,
+    rejects_null,
+)
 from repro.analysis.schema import ColumnInfo, PlanSchema, infer_schema
 from repro.analysis.verifier import analyze_plan, analyze_query
 
@@ -50,4 +62,8 @@ __all__ = [
     "issue_certificate",
     "lint_sql",
     "lint_workloads",
+    "null_rejected_columns",
+    "possible_truth_values",
+    "rejects_null",
+    "verify_rewrite",
 ]

@@ -14,7 +14,9 @@ Rule id namespaces:
 * ``N3xx`` — three-valued-logic / null-safety hazards;
 * ``T4xx`` — expression type checking;
 * ``C5xx`` — rewrite-certificate auditing;
-* ``L6xx`` — SQL-level lint findings (parse/binding failures).
+* ``L6xx`` — SQL-level lint findings (parse/binding failures);
+* ``R7xx`` — certified-rewrite (pushdown/pruning/reordering) equivalence
+  checking.
 """
 
 from __future__ import annotations
@@ -147,6 +149,32 @@ RULES: Dict[str, Rule] = _registry(
             "L601",
             Severity.ERROR,
             "SQL statement failed to parse or bind",
+        ),
+        Rule(
+            "R700",
+            Severity.ERROR,
+            "rewrite did not preserve the plan's output schema (columns, "
+            "order, types, or nullability changed)",
+        ),
+        Rule(
+            "R701",
+            Severity.ERROR,
+            "predicate-pushdown premise failure: a pushed conjunct is not a "
+            "pure grouping-key predicate, its conjunct accounting does not "
+            "balance, or a recorded 3VL verdict does not re-derive",
+        ),
+        Rule(
+            "R702",
+            Severity.ERROR,
+            "projection pruning altered the plan skeleton or dropped a "
+            "column some surviving expression still resolves to",
+        ),
+        Rule(
+            "R703",
+            Severity.ERROR,
+            "join-reordering premise failure: leaf or conjunct multisets "
+            "changed, the region is not order-insulated, or recorded costs "
+            "do not re-derive",
         ),
     ]
 )

@@ -28,6 +28,13 @@ class LintReport:
     statements: int = 0
     selects: int = 0
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Source file the script came from ("" for inline/stdin text).
+    path: str = ""
+    #: 1-based start line of each statement, keyed by statement index.
+    statement_lines: dict = field(default_factory=dict)
+    #: Certified rewrites applied and re-verified during ``--rewrites`` lint.
+    rewrites_certified: int = 0
+    rewrites_checked: bool = False
 
     @property
     def ok(self) -> bool:
@@ -36,12 +43,52 @@ class LintReport:
             d.severity >= Severity.ERROR for d in self.diagnostics
         )
 
+    def _statement_line(self, diagnostic_path: str) -> Optional[int]:
+        if diagnostic_path.startswith("statement["):
+            closing = diagnostic_path.find("]")
+            if closing > 0:
+                try:
+                    index = int(diagnostic_path[len("statement["):closing])
+                except ValueError:
+                    return None
+                return self.statement_lines.get(index)
+        return None
+
+    def to_payload(self) -> dict:
+        """A JSON-ready dict with stable codes and file/position fields."""
+        payload = {
+            "ok": self.ok,
+            "file": self.path or None,
+            "statements": self.statements,
+            "selects": self.selects,
+            "diagnostics": [
+                {
+                    "rule": d.rule_id,
+                    "severity": str(d.severity),
+                    "path": d.path,
+                    "message": d.message,
+                    "hint": d.hint or None,
+                    "file": self.path or None,
+                    "line": self._statement_line(d.path),
+                }
+                for d in self.diagnostics
+            ],
+        }
+        if self.rewrites_checked:
+            payload["rewrites_certified"] = self.rewrites_certified
+        return payload
+
     def render(self) -> str:
         from repro.analysis.diagnostics import render_diagnostics
 
         summary = (
             f"{self.statements} statements, {self.selects} queries analyzed: "
         )
+        if self.rewrites_checked:
+            summary = (
+                f"{self.statements} statements, {self.selects} queries, "
+                f"{self.rewrites_certified} certified rewrites analyzed: "
+            )
         if not self.diagnostics:
             return summary + "clean"
         counts: dict = {}
@@ -55,14 +102,56 @@ class LintReport:
         return summary + breakdown + "\n" + render_diagnostics(self.diagnostics)
 
 
+def _lint_plan_rewrites(database: Database, plan: "object", emit) -> int:
+    """Apply the certified rewrites to ``plan`` and re-verify every
+    certificate with the independent checker, emitting any R7xx findings.
+
+    Returns the number of certificates that were issued (each one is
+    audited; a failed audit shows up as ERROR diagnostics, so an
+    uncertified rewrite can never lint clean)."""
+    from repro.algebra.ops import fuse_group_apply
+    from repro.analysis.equivalence import verify_rewrite
+    from repro.optimizer.rewrites import apply_rewrites
+
+    try:
+        outcome = apply_rewrites(fuse_group_apply(plan), database, verify=False)
+    except Exception as error:  # a crash in the rewriter is a finding, not a lint crash
+        emit(
+            Diagnostic(
+                "R700",
+                Severity.ERROR,
+                "rewrites",
+                f"certified rewrite pass failed: {error}",
+            )
+        )
+        return 0
+    for certificate in outcome.certificates:
+        for diagnostic in verify_rewrite(database, certificate):
+            emit(
+                Diagnostic(
+                    diagnostic.rule_id,
+                    diagnostic.severity,
+                    f"rewrites/{certificate.rule}@{diagnostic.path}",
+                    diagnostic.message,
+                    diagnostic.hint,
+                )
+            )
+    return len(outcome.certificates)
+
+
 def _analyze_select(
     database: Database,
     statement: "object",
     sink: DiagnosticSink,
     where: str,
     min_severity: Severity,
-) -> None:
-    """Statically analyze one bound SELECT (E1 always, E2 when valid)."""
+    rewrites: bool = False,
+) -> int:
+    """Statically analyze one bound SELECT (E1 always, E2 when valid).
+
+    With ``rewrites=True`` the certified rewrite pass also runs over the
+    executed-shape plan and every certificate is independently re-verified;
+    returns the number of certificates issued (0 otherwise)."""
     from repro.analysis.verifier import analyze_plan, analyze_query
     from repro.core.partition import to_group_by_join_query
     from repro.core.planbuild import build_join_tree
@@ -82,6 +171,7 @@ def _analyze_select(
     if any(t.name in database.views for t in statement.from_tables):
         # A view in FROM: merge it back into one grouped query, the same
         # normalization the session applies before planning (§8).
+        from repro.core.transform import build_standard_plan
         from repro.core.viewmerge import merge_aggregated_view
 
         merged = merge_aggregated_view(database, statement)
@@ -89,7 +179,11 @@ def _analyze_select(
             database, merged, min_severity=min_severity
         ):
             emit(diagnostic)
-        return
+        if rewrites:
+            return _lint_plan_rewrites(
+                database, build_standard_plan(merged), emit
+            )
+        return 0
 
     flat = bind_select(database, statement)
     if flat.group_by:
@@ -98,11 +192,17 @@ def _analyze_select(
         except TransformationError:
             query = None
         if query is not None:
+            from repro.core.transform import build_standard_plan
+
             for diagnostic in analyze_query(
                 database, query, min_severity=min_severity
             ):
                 emit(diagnostic)
-            return
+            if rewrites:
+                return _lint_plan_rewrites(
+                    database, build_standard_plan(query), emit
+                )
+            return 0
     # Ungrouped (or unpartitionable grouped) query: analyze the plan the
     # session would run, built the same way but never executed.
     from repro.algebra.ops import Project
@@ -126,19 +226,30 @@ def _analyze_select(
         plan = Project(tree, flat.select_group_columns, flat.distinct)
     for diagnostic in analyze_plan(plan, database, min_severity=min_severity):
         emit(diagnostic)
+    if rewrites:
+        return _lint_plan_rewrites(database, plan, emit)
+    return 0
 
 
-def _split_statements(text: str) -> List[str]:
-    """Split a script on top-level ``;`` (string literals and ``--``
-    comments respected), so one malformed statement does not hide the rest
-    of the script from the linter."""
-    pieces: List[str] = []
+def _split_statements(text: str) -> List[Tuple[str, int]]:
+    """Split a script on top-level ``;`` into (statement, start line).
+
+    String literals and ``--`` comments are respected, so one malformed
+    statement does not hide the rest of the script from the linter; the
+    1-based start line points at the first non-blank character of each
+    statement (for editor-friendly ``--format json`` output)."""
+    pieces: List[Tuple[str, int]] = []
     current: List[str] = []
+    piece_start = 1
+    has_content = False
     i, n = 0, len(text)
+    line = 1
     in_string = False
     in_comment = False
     while i < n:
         ch = text[i]
+        if not has_content and not ch.isspace():
+            has_content = True
         if in_comment:
             current.append(ch)
             if ch == "\n":
@@ -159,19 +270,28 @@ def _split_statements(text: str) -> List[str]:
             in_comment = True
             current.append(ch)
         elif ch == ";":
-            pieces.append("".join(current))
+            pieces.append(("".join(current), piece_start))
             current = []
+            piece_start = line
+            has_content = False
         else:
             current.append(ch)
+        if ch == "\n":
+            line += 1
+            if not has_content:
+                # statement has not started yet: advance its anchor
+                piece_start = line
         i += 1
-    pieces.append("".join(current))
-    return [piece for piece in pieces if piece.strip()]
+    pieces.append(("".join(current), piece_start))
+    return [(piece, start) for piece, start in pieces if piece.strip()]
 
 
 def lint_sql(
     text: str,
     database: Optional[Database] = None,
     min_severity: Severity = Severity.WARNING,
+    rewrites: bool = False,
+    path: str = "",
 ) -> LintReport:
     """Lint a ``;``-separated SQL script.
 
@@ -179,13 +299,15 @@ def lint_sql(
     default) so later SELECTs can resolve the catalog; SELECTs are
     analyzed statically and never executed.  A statement that fails to
     parse or bind yields an ``L601`` diagnostic and linting continues with
-    the next statement.
+    the next statement.  With ``rewrites=True`` the certified rewrite pass
+    additionally runs over every query plan and each certificate is
+    re-verified by the independent equivalence checker (rule ids R7xx).
     """
     from repro.parser.ast_nodes import SelectStatement, SetOperationStatement
     from repro.parser.binder import execute_statement
     from repro.parser.parser import parse_statement
 
-    report = LintReport()
+    report = LintReport(path=path, rewrites_checked=rewrites)
     sink = DiagnosticSink()
     db = database if database is not None else Database()
 
@@ -195,15 +317,18 @@ def lint_sql(
         assert isinstance(statement, SelectStatement)
         return [statement]
 
-    for index, sql in enumerate(_split_statements(text)):
+    for index, (sql, start_line) in enumerate(_split_statements(text)):
         report.statements += 1
+        report.statement_lines[index] = start_line
         where = f"statement[{index}]"
         try:
             statement = parse_statement(sql)
             if isinstance(statement, (SelectStatement, SetOperationStatement)):
                 for select in selects_of(statement):
                     report.selects += 1
-                    _analyze_select(db, select, sink, where, min_severity)
+                    report.rewrites_certified += _analyze_select(
+                        db, select, sink, where, min_severity, rewrites
+                    )
             else:
                 execute_statement(db, statement)
         except ReproError as error:
@@ -257,14 +382,16 @@ def _workload_registry() -> "dict":
     }
 
 
-def lint_workloads(min_severity: Severity = Severity.WARNING) -> LintReport:
+def lint_workloads(
+    min_severity: Severity = Severity.WARNING, rewrites: bool = False
+) -> LintReport:
     """Lint every built-in workload query (the CI smoke target).
 
     Loads each paper example schema into a scratch database and statically
     analyzes its canonical queries; the seed workloads must come back
     clean, so this doubles as a self-check of the analyzer.
     """
-    report = LintReport()
+    report = LintReport(rewrites_checked=rewrites)
     sink = DiagnosticSink()
     for name, (builder, queries) in sorted(_workload_registry().items()):
         database = builder()
@@ -272,7 +399,13 @@ def lint_workloads(min_severity: Severity = Severity.WARNING) -> LintReport:
             report.statements += 1
             report.selects += 1
             where = f"{name}.query[{qi}]"
-            sub = lint_sql(sql, database=database, min_severity=min_severity)
+            sub = lint_sql(
+                sql,
+                database=database,
+                min_severity=min_severity,
+                rewrites=rewrites,
+            )
+            report.rewrites_certified += sub.rewrites_certified
             for diagnostic in sub.diagnostics:
                 sink.add(
                     Diagnostic(

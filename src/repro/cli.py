@@ -14,12 +14,19 @@
 
 Subcommands (no REPL):
 
-* ``repro lint <script.sql>...`` — statically verify every query of the
-  scripts without executing them (``--workloads`` lints the built-in
+* ``repro lint <script.sql|dir>...`` — statically verify every query of
+  the scripts without executing them (``--workloads`` lints the built-in
   paper workloads, ``--rules`` prints the rule catalogue, ``--info``
-  includes INFO-severity notes).  Exits nonzero on ERROR findings.
-* ``repro explain [--certify] <script.sql>...`` — run the scripts and
-  print each SELECT's plan-choice report instead of its rows.
+  includes INFO-severity notes, ``--rewrites`` additionally runs the
+  certified rewrite pass on each query and audits every certificate with
+  the plan-equivalence checker, ``--format json`` emits one machine
+  readable report per file with stable rule codes and line numbers).
+  Directory arguments expand to their ``*.sql`` files.  Exits nonzero on
+  ERROR findings.
+* ``repro explain [--certify] [--rewrites] <script.sql>...`` — run the
+  scripts and print each SELECT's plan-choice report instead of its rows
+  (``--rewrites`` enables the certified rewrite pass so reports list the
+  rewrite certificates).
 * ``repro bench [--quick] [--out path] [--repeat n]`` — time the paper's
   workload scenarios on both execution backends (row vs. vector), check
   result/stats parity, and write ``BENCH_vector.json``; ``--quick`` is
@@ -54,6 +61,8 @@ Enter SQL terminated by ';'.  Dot-commands:
   .tables              list tables and views
   .policy <name>       set planner policy (cost, always_eager, never_eager)
   .engine <name>       set execution backend (row, vector)
+  .rewrites <spec>     set certified rewrites (all, none, or a comma list of
+                       predicate_pushdown, join_reordering, projection_pruning)
   .help                this text
   .quit                exit
 """
@@ -111,6 +120,8 @@ class Shell:
             self.write(f"policy set to {argument}")
         elif command == ".engine":
             self._set_engine(argument)
+        elif command == ".rewrites":
+            self._set_rewrites(argument)
         elif command == ".script":
             self._run_script(argument)
         elif command == ".explain":
@@ -134,6 +145,21 @@ class Shell:
             self.session.executor_config, engine=name
         )
         self.write(f"engine set to {name}")
+
+    def _set_rewrites(self, spec: str) -> None:
+        from dataclasses import replace
+
+        try:
+            self.session.executor_config = replace(
+                self.session.executor_config, rewrites=spec or "none"
+            )
+        except ValueError as error:
+            self.write(f"error: {error}")
+            return
+        enabled = self.session.executor_config.rewrites
+        self.write(
+            "certified rewrites: " + (", ".join(enabled) if enabled else "(none)")
+        )
 
     def _schema(self, table_name: str) -> None:
         from repro.catalog.dump import _table_ddl
@@ -242,28 +268,57 @@ class Shell:
         self.write(f"ran {ran} statements")
 
 
+def _expand_lint_paths(paths: list) -> list:
+    """Expand directory arguments to their ``*.sql`` files (sorted)."""
+    import os
+
+    expanded: list = []
+    for path in paths:
+        if os.path.isdir(path):
+            expanded.extend(
+                sorted(
+                    os.path.join(path, name)
+                    for name in os.listdir(path)
+                    if name.endswith(".sql")
+                )
+            )
+        else:
+            expanded.append(path)
+    return expanded
+
+
 def _lint_command(arguments: list, out: TextIO = sys.stdout) -> int:
     """``repro lint``: statically analyze SQL scripts; nonzero on errors."""
+    import json
+
     from repro.analysis.diagnostics import RULES, Severity
     from repro.analysis.linter import lint_sql, lint_workloads
 
     def write(text: str) -> None:
         out.write(text + "\n")
 
+    flags = [a for a in arguments if a.startswith("--")]
+    as_json = "--format=json" in flags
+    if "--format" in flags:
+        index = arguments.index("--format")
+        if index + 1 >= len(arguments) or arguments[index + 1] != "json":
+            write("error: --format takes exactly one value: json")
+            return 2
+        arguments = arguments[:index] + arguments[index + 2 :]
+        as_json = True
     min_severity = Severity.INFO if "--info" in arguments else Severity.WARNING
+    rewrites = "--rewrites" in arguments
     if "--rules" in arguments:
         for rule_id in sorted(RULES):
             rule = RULES[rule_id]
             write(f"{rule.rule_id}  {rule.severity}  {rule.description}")
         return 0
     ok = True
-    linted = False
+    reports: list = []
     if "--workloads" in arguments:
-        report = lint_workloads(min_severity=min_severity)
-        write("workloads: " + report.render())
-        ok = ok and report.ok
-        linted = True
-    paths = [a for a in arguments if not a.startswith("--")]
+        report = lint_workloads(min_severity=min_severity, rewrites=rewrites)
+        reports.append(("workloads", report))
+    paths = _expand_lint_paths([a for a in arguments if not a.startswith("--")])
     for path in paths:
         try:
             with open(path) as handle:
@@ -271,13 +326,23 @@ def _lint_command(arguments: list, out: TextIO = sys.stdout) -> int:
         except OSError as error:
             write(f"error: {error}")
             return 2
-        report = lint_sql(text, min_severity=min_severity)
-        write(f"{path}: " + report.render())
-        ok = ok and report.ok
-        linted = True
-    if not linted:
-        write("usage: repro lint [--workloads] [--rules] [--info] <script.sql>...")
+        reports.append(
+            (path, lint_sql(text, min_severity=min_severity,
+                            rewrites=rewrites, path=path))
+        )
+    if not reports:
+        write("usage: repro lint [--workloads] [--rules] [--info]"
+              " [--rewrites] [--format json] <script.sql|dir>...")
         return 2
+    for label, report in reports:
+        ok = ok and report.ok
+        if as_json:
+            payload = report.to_payload()
+            if not payload.get("file"):
+                payload["file"] = label
+            write(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            write(f"{label}: " + report.render())
     return 0 if ok else 1
 
 
@@ -291,11 +356,17 @@ def _explain_command(arguments: list, out: TextIO = sys.stdout) -> int:
         out.write(text + "\n")
 
     certify = "--certify" in arguments
+    rewrites = "--rewrites" in arguments
     paths = [a for a in arguments if not a.startswith("--")]
     if not paths:
-        write("usage: repro explain [--certify] <script.sql>...")
+        write("usage: repro explain [--certify] [--rewrites] <script.sql>...")
         return 2
-    session = Session()
+    if rewrites:
+        from repro.engine.executor import ExecutorConfig
+
+        session = Session(executor_config=ExecutorConfig(rewrites="all"))
+    else:
+        session = Session()
     for path in paths:
         try:
             with open(path) as handle:

@@ -88,6 +88,12 @@ class ExecutorConfig:
     * ``degrade``: let a vector-engine kernel failure retry that operator
       on the row engine instead of failing the query (resource errors
       never degrade).
+    * ``rewrites``: certified rewrite rules to apply before execution
+      (:func:`repro.optimizer.rewrites.apply_rewrites`) — any subset of
+      ``predicate_pushdown``, ``join_reordering``, ``projection_pruning``,
+      or ``"all"``.  Every application is audited by the independent
+      plan-equivalence checker; a failed audit aborts the query rather
+      than running an unproven plan.
     """
 
     join_algorithm: str = "auto"
@@ -103,10 +109,38 @@ class ExecutorConfig:
     spill_dir: Optional[str] = None
     cancellation: Optional[CancellationToken] = None
     degrade: bool = True
+    rewrites: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
             raise ValueError(f"bad join_algorithm: {self.join_algorithm}")
+        # Normalized inline (not via repro.optimizer.rewrites, which cannot
+        # be imported while this module is still initializing); the rule
+        # list is mirrored by repro.optimizer.rewrites.REWRITE_RULES and a
+        # test keeps the two in sync.
+        valid = ("predicate_pushdown", "join_reordering", "projection_pruning")
+        value = self.rewrites
+        if value is None:
+            names: Tuple[str, ...] = ()
+        elif isinstance(value, str):
+            text = value.strip()
+            if text in ("", "none", "off"):
+                names = ()
+            else:
+                names = tuple(p.strip() for p in text.split(",") if p.strip())
+        else:
+            names = tuple(value)
+        if "all" in names:
+            names = valid
+        else:
+            for name in names:
+                if name not in valid:
+                    raise ValueError(
+                        f"unknown rewrite rule {name!r}; valid rules: "
+                        + ", ".join(valid) + ", all"
+                    )
+            names = tuple(rule for rule in valid if rule in names)
+        object.__setattr__(self, "rewrites", names)
         if self.aggregation not in ("hash", "sort"):
             raise ValueError(f"bad aggregation: {self.aggregation}")
         if self.engine not in ("row", "vector"):
@@ -135,6 +169,18 @@ class Executor:
     def run(self, plan: PlanNode) -> Tuple[DataSet, ExecutionStats]:
         """Execute ``plan``; returns the result and per-operator statistics."""
         fused = fuse_group_apply(plan)
+        if self.config.rewrites:
+            from repro.optimizer.rewrites import apply_rewrites, rewrites_applied
+
+            if rewrites_applied(fused) is None:
+                algorithm = self.config.join_algorithm
+                outcome = apply_rewrites(
+                    fused,
+                    self.database,
+                    self.config.rewrites,
+                    join_algorithm="hash" if algorithm == "auto" else algorithm,
+                )
+                fused = outcome.plan
         if self.config.verify:
             self._verify(plan, fused)
         if self.config.engine == "vector":

@@ -434,6 +434,102 @@ def failures(results: Sequence[CaseResult]) -> List[CaseResult]:
     return [r for r in results if not r.ok]
 
 
+def run_rewrite_differential(
+    quick: bool = True,
+    rewrite_sets: Optional[Sequence[Tuple[str, ...]]] = None,
+) -> List[CaseResult]:
+    """Differential audit of the certified rewrite pass.
+
+    For every (case, configuration, rewrite-set) triple, run the case once
+    on the row engine with rewrites disabled (the trusted baseline), then
+    on both engines with the rewrite set enabled.  ``results_match``
+    requires both rewritten runs to reproduce the baseline's multiset AND
+    its ordering metadata — a rewrite that silently reorders an ORDER BY
+    result or drops a column fails here even if the checker passed it.
+    ``stats_match`` compares the two rewritten engines against each other
+    (rewrites change plan shape, so baseline stats are not comparable).
+
+    ``rewrite_sets`` defaults to each rule alone plus all rules together.
+    """
+    from repro.optimizer.rewrites import REWRITE_RULES
+
+    sets: Tuple[Tuple[str, ...], ...]
+    if rewrite_sets is None:
+        sets = tuple((rule,) for rule in REWRITE_RULES) + (REWRITE_RULES,)
+    else:
+        sets = tuple(tuple(rs) for rs in rewrite_sets)
+    results: List[CaseResult] = []
+
+    for sql_case in SQL_CASES:
+        db = sql_case.build(quick)
+        for config in SQL_CONFIGS:
+            base = Session(
+                db, executor_config=replace(config, engine="row")
+            ).report(sql_case.sql)
+            for rewrite_set in sets:
+                row_report = Session(
+                    db,
+                    executor_config=replace(
+                        config, engine="row", rewrites=rewrite_set
+                    ),
+                ).report(sql_case.sql)
+                vec_report = Session(
+                    db,
+                    executor_config=replace(
+                        config, engine="vector", rewrites=rewrite_set
+                    ),
+                ).report(sql_case.sql)
+                results.append(
+                    CaseResult(
+                        sql_case.name,
+                        _config_label(config) + "+rw:" + ",".join(rewrite_set),
+                        row_report.result.equals_multiset(base.result)
+                        and vec_report.result.equals_multiset(base.result)
+                        and row_report.result.ordering == base.result.ordering
+                        and vec_report.result.ordering == base.result.ordering,
+                        stats_signature(row_report.stats)
+                        == stats_signature(vec_report.stats),
+                        row_report.result.cardinality,
+                        row_report.stats.spill_count,
+                        vec_report.stats.spill_count,
+                    )
+                )
+
+    for plan_case in PLAN_CASES:
+        db = plan_case.build(quick)
+        for config in PLAN_CONFIGS:
+            base_result, __ = execute(
+                db, plan_case.plan(), replace(config, engine="row")
+            )
+            for rewrite_set in sets:
+                row_result, row_stats = execute(
+                    db,
+                    plan_case.plan(),
+                    replace(config, engine="row", rewrites=rewrite_set),
+                )
+                vec_result, vec_stats = execute(
+                    db,
+                    plan_case.plan(),
+                    replace(config, engine="vector", rewrites=rewrite_set),
+                )
+                results.append(
+                    CaseResult(
+                        plan_case.name,
+                        _config_label(config) + "+rw:" + ",".join(rewrite_set),
+                        row_result.equals_multiset(base_result)
+                        and vec_result.equals_multiset(base_result)
+                        and row_result.ordering == base_result.ordering
+                        and vec_result.ordering == base_result.ordering,
+                        stats_signature(row_stats) == stats_signature(vec_stats),
+                        row_result.cardinality,
+                        row_stats.spill_count,
+                        vec_stats.spill_count,
+                    )
+                )
+
+    return results
+
+
 # -- fault-injection matrix ---------------------------------------------------
 
 

@@ -17,6 +17,14 @@ from repro.optimizer.cost import (
 )
 from repro.optimizer.histogram import Histogram
 from repro.optimizer.planner import POLICIES, PlanChoice, Planner
+from repro.optimizer.rewrites import (
+    REWRITE_RULES,
+    RewriteOutcome,
+    RuleCertificate,
+    apply_rewrites,
+    normalize_rewrites,
+    rewrites_applied,
+)
 
 __all__ = [
     "CardinalityEstimator", "ColumnStats", "EstimateContext", "Statistics",
@@ -24,4 +32,6 @@ __all__ = [
     "CostModel", "CostWeights", "DistributedCostModel", "NetworkWeights",
     "PlanCost", "Histogram",
     "POLICIES", "PlanChoice", "Planner",
+    "REWRITE_RULES", "RewriteOutcome", "RuleCertificate",
+    "apply_rewrites", "normalize_rewrites", "rewrites_applied",
 ]

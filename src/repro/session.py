@@ -53,6 +53,7 @@ class QueryReport:
     strategy: str  # "eager" | "standard" | "simple" | "scalar-aggregate"
     stats: ExecutionStats
     choice: Optional[PlanChoice] = None
+    rewrites: Tuple = ()  # RuleCertificates of applied certified rewrites
 
     @property
     def certificate(self):
@@ -71,15 +72,22 @@ class QueryReport:
                 lines.append(f"eager cost (est.):    {self.choice.eager_cost:.1f}")
             lines.append(f"transformable: {self.choice.decision.valid} "
                          f"({self.choice.decision.reason})")
+        if self.rewrites:
+            lines.append(
+                "certified rewrites: "
+                + ", ".join(certificate.rule for certificate in self.rewrites)
+            )
         lines.append(render_annotated(self.plan, self.stats.cardinality_map()))
         if certify:
             certificate = self.certificate
-            if certificate is None:
+            if certificate is None and not self.rewrites:
                 lines.append(
                     "no rewrite certificate (plan is not a certified eager plan)"
                 )
-            else:
+            if certificate is not None:
                 lines.append(certificate.render())
+            for rule_certificate in self.rewrites:
+                lines.append(rule_certificate.render())
         return "\n".join(lines)
 
 
@@ -281,6 +289,21 @@ class Session:
     def _executor(self, params: Optional[Mapping[str, SqlValue]]) -> Executor:
         return Executor(self.database, self.executor_config, params)
 
+    def _maybe_rewrite(self, plan: PlanNode):
+        """Apply configured certified rewrites; (plan, certificates)."""
+        if not self.executor_config.rewrites:
+            return plan, ()
+        from repro.optimizer.rewrites import apply_rewrites
+
+        algorithm = self.executor_config.join_algorithm
+        outcome = apply_rewrites(
+            fuse_group_apply(plan),
+            self.database,
+            self.executor_config.rewrites,
+            join_algorithm="hash" if algorithm == "auto" else algorithm,
+        )
+        return outcome.plan, outcome.certificates
+
     def _run_group_query(
         self, query: GroupByJoinQuery, params: Optional[Mapping[str, SqlValue]]
     ) -> QueryReport:
@@ -301,8 +324,9 @@ class Session:
             certificate = get_certificate(choice.plan)
             if certificate is not None:
                 attach_certificate(plan, certificate)
+        plan, rewrites = self._maybe_rewrite(plan)
         result, stats = self._executor(params).run(plan)
-        return QueryReport(result, plan, choice.strategy, stats, choice)
+        return QueryReport(result, plan, choice.strategy, stats, choice, rewrites)
 
     def _run_flat_standard(
         self, flat: FlatQuery, params: Optional[Mapping[str, SqlValue]]
@@ -317,8 +341,9 @@ class Session:
                 columns, flat.distinct,
             )
         )
+        plan, rewrites = self._maybe_rewrite(plan)
         result, stats = self._executor(params).run(plan)
-        return QueryReport(result, plan, "standard", stats)
+        return QueryReport(result, plan, "standard", stats, rewrites=rewrites)
 
     def _run_ungrouped(
         self, flat: FlatQuery, params: Optional[Mapping[str, SqlValue]]
@@ -328,6 +353,7 @@ class Session:
             # Scalar aggregate: SQL yields exactly one row even on empty
             # input (unlike GROUP BY ()); patch the empty case explicitly.
             plan: PlanNode = fuse_group_apply(Apply(Group(tree, ()), flat.aggregates))
+            plan, rewrites = self._maybe_rewrite(plan)
             result, stats = self._executor(params).run(plan)
             if result.cardinality == 0:
                 empty_input = DataSet((), [])
@@ -336,7 +362,10 @@ class Session:
                     for spec in flat.aggregates
                 )
                 result = DataSet(result.columns, [row])
-            return QueryReport(result, plan, "scalar-aggregate", stats)
+            return QueryReport(
+                result, plan, "scalar-aggregate", stats, rewrites=rewrites
+            )
         plan = Project(tree, flat.select_group_columns, flat.distinct)
+        plan, rewrites = self._maybe_rewrite(plan)
         result, stats = self._executor(params).run(plan)
-        return QueryReport(result, plan, "simple", stats)
+        return QueryReport(result, plan, "simple", stats, rewrites=rewrites)

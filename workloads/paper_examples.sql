@@ -1,0 +1,50 @@
+-- Group-by-before-join workload: the paper's running examples as a
+-- lintable, runnable script.
+--
+--     repro lint --rewrites workloads/paper_examples.sql
+--     python -m repro workloads/paper_examples.sql
+
+CREATE TABLE Department (
+  DeptID INTEGER PRIMARY KEY,
+  Name VARCHAR(30) NOT NULL,
+  Budget INTEGER);
+
+CREATE TABLE Employee (
+  EmpID INTEGER PRIMARY KEY,
+  LastName VARCHAR(30) NOT NULL,
+  DeptID INTEGER REFERENCES Department (DeptID),
+  Salary INTEGER);
+
+INSERT INTO Department VALUES
+  (1, 'Engineering', 900), (2, 'Sales', 400),
+  (3, 'Support', 250), (4, 'Research', 700);
+
+INSERT INTO Employee VALUES
+  (1, 'Yan', 1, 120), (2, 'Larson', 1, 130), (3, 'Klug', 2, 90),
+  (4, 'Dayal', 2, 95), (5, 'Kim', 3, 80), (6, 'Kiessling', 3, 85),
+  (7, 'Ganski', 4, 110), (8, 'Wong', 4, 105), (9, 'Negri', 1, 100),
+  (10, 'Codd', NULL, 150);
+
+-- Example 1: per-department headcount.  The planner decides whether to
+-- push the group-by below the join; projection pruning narrows the
+-- Employee scan to (EmpID, DeptID).
+SELECT D.DeptID, D.Name, COUNT(E.EmpID) AS headcount
+FROM Employee E, Department D
+WHERE E.DeptID = D.DeptID
+GROUP BY D.DeptID, D.Name
+ORDER BY headcount DESC;
+
+-- Example 2 flavour: aggregate with a post-aggregation filter on the
+-- grouping key.  Predicate pushdown moves the key predicate below the
+-- group-by (certified, then audited by the equivalence checker).
+SELECT E.DeptID, SUM(E.Salary) AS payroll
+FROM Employee E
+GROUP BY E.DeptID
+HAVING E.DeptID = 1;
+
+-- HAVING on an aggregate must NOT be pushed — the pass leaves it as a
+-- residual above the group-by and the certificate records why.
+SELECT E.DeptID, AVG(E.Salary) AS avg_salary
+FROM Employee E
+GROUP BY E.DeptID
+HAVING COUNT(E.EmpID) > 1;

@@ -1,0 +1,58 @@
+-- Retail star-schema workload: multi-join queries that exercise the
+-- cost-based join reordering rule and per-operator projection pruning.
+--
+--     repro lint --rewrites workloads/retail_star.sql
+
+CREATE TABLE Stores (
+  StoreID INTEGER PRIMARY KEY,
+  City VARCHAR(30) NOT NULL,
+  Region VARCHAR(20));
+
+CREATE TABLE Products (
+  ProductID INTEGER PRIMARY KEY,
+  Category VARCHAR(20) NOT NULL,
+  ListPrice INTEGER);
+
+CREATE TABLE Sales (
+  SaleID INTEGER PRIMARY KEY,
+  StoreID INTEGER REFERENCES Stores (StoreID),
+  ProductID INTEGER REFERENCES Products (ProductID),
+  Quantity INTEGER NOT NULL,
+  Amount INTEGER NOT NULL);
+
+INSERT INTO Stores VALUES
+  (1, 'Seattle', 'West'), (2, 'Portland', 'West'), (3, 'Boston', 'East');
+
+INSERT INTO Products VALUES
+  (1, 'Laptop', 1200), (2, 'Monitor', 300), (3, 'Keyboard', 50);
+
+INSERT INTO Sales VALUES
+  (1, 1, 1, 2, 2400), (2, 1, 3, 5, 250), (3, 2, 2, 1, 300),
+  (4, 2, 1, 1, 1200), (5, 3, 3, 10, 500), (6, 3, 2, 2, 600),
+  (7, 1, 2, 3, 900), (8, 2, 3, 4, 200);
+
+-- Three-way star join with selective dimension filters: the reorder rule
+-- greedily restarts from the most selective filtered leaf and places each
+-- join conjunct at its earliest binding scope.
+SELECT S.SaleID, St.City, P.Category
+FROM Sales S, Stores St, Products P
+WHERE S.StoreID = St.StoreID
+  AND S.ProductID = P.ProductID
+  AND St.Region = 'West'
+  AND P.Category = 'Laptop';
+
+-- Revenue per region: group-by over the star join; pruning narrows every
+-- scan to the columns the aggregate and the join conditions consume.
+SELECT St.Region, SUM(S.Amount) AS revenue
+FROM Sales S, Stores St
+WHERE S.StoreID = St.StoreID
+GROUP BY St.Region
+ORDER BY revenue DESC;
+
+-- Filter on the grouping key above the aggregate — pushdown plus reorder
+-- plus pruning compose on one statement.
+SELECT St.City, COUNT(S.SaleID) AS ticket_count
+FROM Sales S, Stores St
+WHERE S.StoreID = St.StoreID
+GROUP BY St.City
+HAVING St.City = 'Seattle';
