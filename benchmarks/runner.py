@@ -10,7 +10,11 @@ benchmarks/runner.py`` to work::
 
 from __future__ import annotations
 
-from repro.engine.vector.bench import main, run_bench  # noqa: F401  (re-export)
+from repro.engine.vector.bench import (  # noqa: F401  (re-export)
+    main,
+    run_bench,
+    run_morsel_bench,
+)
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -61,6 +61,8 @@ Enter SQL terminated by ';'.  Dot-commands:
   .tables              list tables and views
   .policy <name>       set planner policy (cost, always_eager, never_eager)
   .engine <name>       set execution backend (row, vector)
+  .morsels <n|off>     set the vector engine's morsel size (off = materialize)
+  .workers <n>         set the worker count for parallel morsel pipelines
   .rewrites <spec>     set certified rewrites (all, none, or a comma list of
                        predicate_pushdown, join_reordering, projection_pruning)
   .help                this text
@@ -120,6 +122,10 @@ class Shell:
             self.write(f"policy set to {argument}")
         elif command == ".engine":
             self._set_engine(argument)
+        elif command == ".morsels":
+            self._set_morsels(argument)
+        elif command == ".workers":
+            self._set_workers(argument)
         elif command == ".rewrites":
             self._set_rewrites(argument)
         elif command == ".script":
@@ -145,6 +151,34 @@ class Shell:
             self.session.executor_config, engine=name
         )
         self.write(f"engine set to {name}")
+
+    def _set_morsels(self, spec: str) -> None:
+        from dataclasses import replace
+
+        try:
+            size = None if spec in ("off", "none") else int(spec)
+            self.session.executor_config = replace(
+                self.session.executor_config, morsel_size=size
+            )
+        except ValueError as error:
+            self.write(f"error: bad morsel size {spec!r}: {error}")
+            return
+        self.write(
+            "morsel size set to "
+            + ("off (materialize per operator)" if size is None else str(size))
+        )
+
+    def _set_workers(self, spec: str) -> None:
+        from dataclasses import replace
+
+        try:
+            self.session.executor_config = replace(
+                self.session.executor_config, workers=int(spec)
+            )
+        except ValueError as error:
+            self.write(f"error: bad workers {spec!r}: {error}")
+            return
+        self.write(f"workers set to {int(spec)}")
 
     def _set_rewrites(self, spec: str) -> None:
         from dataclasses import replace
@@ -388,45 +422,50 @@ def _explain_command(arguments: list, out: TextIO = sys.stdout) -> int:
 
 
 def _extract_budget_flags(arguments: list):
-    """Strip ``--timeout SECONDS`` and ``--memory-limit BYTES`` from an
-    argument list; returns (remaining, ExecutorConfig or None).
+    """Strip ``--timeout SECONDS``, ``--memory-limit BYTES``,
+    ``--morsel-size ROWS|off`` and ``--workers N`` from an argument list;
+    returns (remaining, ExecutorConfig or None).
 
-    The flags build the session's resource budget
+    The flags build the session's resource budget and pipeline shape
     (:class:`~repro.engine.executor.ExecutorConfig` ``timeout_seconds`` /
-    ``memory_limit_bytes``); a malformed value raises ``ValueError`` with
-    a usage message.
+    ``memory_limit_bytes`` / ``morsel_size`` / ``workers``); a malformed
+    value raises ``ValueError`` with a usage message.
     """
     from repro.engine.executor import ExecutorConfig
 
     remaining: list = []
-    timeout: Optional[float] = None
-    memory_limit: Optional[int] = None
+    overrides: dict = {}
+    flags = {
+        "--timeout": ("timeout_seconds", float),
+        "--memory-limit": ("memory_limit_bytes", int),
+        "--morsel-size": (
+            "morsel_size",
+            lambda text: None if text in ("off", "none") else int(text),
+        ),
+        "--workers": ("workers", int),
+    }
     i = 0
     while i < len(arguments):
         argument = arguments[i]
         name, __, inline = argument.partition("=")
-        if name in ("--timeout", "--memory-limit"):
+        if name in flags:
             if not inline:
                 i += 1
                 if i >= len(arguments):
                     raise ValueError(f"{name} requires a value")
                 inline = arguments[i]
+            field, parse = flags[name]
             try:
-                if name == "--timeout":
-                    timeout = float(inline)
-                else:
-                    memory_limit = int(inline)
+                overrides[field] = parse(inline)
             except ValueError:
                 raise ValueError(f"bad {name} value: {inline!r}") from None
         else:
             remaining.append(argument)
         i += 1
-    if timeout is None and memory_limit is None:
+    if not overrides:
         return remaining, None
     try:
-        config = ExecutorConfig(
-            timeout_seconds=timeout, memory_limit_bytes=memory_limit
-        )
+        config = ExecutorConfig(**overrides)
     except ValueError as error:
         raise ValueError(str(error)) from None
     return remaining, config

@@ -94,6 +94,17 @@ class ExecutorConfig:
       or ``"all"``.  Every application is audited by the independent
       plan-equivalence checker; a failed audit aborts the query rather
       than running an unproven plan.
+
+    Morsel streaming (vector engine only; the row engine ignores both):
+
+    * ``morsel_size``: rows per morsel for the streaming vector pipelines
+      (:mod:`repro.engine.vector.morsel`).  Non-blocking operator chains
+      are fused and executed one morsel at a time, bounding peak memory by
+      the morsel size instead of the input size.  ``None`` disables
+      streaming entirely (the materialize-per-operator path).
+    * ``workers``: processes for morsel-parallel partial aggregation
+      (:mod:`repro.engine.vector.parallel`).  ``1`` keeps everything
+      serial; results are bit-identical either way.
     """
 
     join_algorithm: str = "auto"
@@ -110,6 +121,8 @@ class ExecutorConfig:
     cancellation: Optional[CancellationToken] = None
     degrade: bool = True
     rewrites: Tuple[str, ...] = ()
+    morsel_size: Optional[int] = 32768
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
@@ -151,6 +164,10 @@ class ExecutorConfig:
             raise ValueError("timeout_seconds must be non-negative")
         if self.max_rows is not None and self.max_rows < 0:
             raise ValueError("max_rows must be non-negative")
+        if self.morsel_size is not None and self.morsel_size <= 0:
+            raise ValueError("morsel_size must be positive (or None)")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
 
 class Executor:

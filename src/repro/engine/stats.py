@@ -9,7 +9,30 @@ here, and the benchmark harness prints them next to the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PipelineStats:
+    """Morsel-pipeline counters for one vector execution.
+
+    ``segments`` counts streamed pipeline segments (fused operator chains
+    bounded by pipeline breakers), ``morsels`` the chunks driven through
+    them, and ``max_inflight_bytes`` the peak *deterministic* estimate of
+    per-morsel state held at any one time (morsel views plus partial
+    aggregation state) — the observable form of the "peak memory is
+    bounded by morsel size, not input size" claim.  ``None`` on
+    :class:`ExecutionStats` means the execution never streamed (row
+    engine, or ``morsel_size=None``).
+    """
+
+    segments: int = 0
+    morsels: int = 0
+    max_inflight_bytes: int = 0
+
+    def note_inflight(self, estimated_bytes: int) -> None:
+        if estimated_bytes > self.max_inflight_bytes:
+            self.max_inflight_bytes = estimated_bytes
 
 
 @dataclass
@@ -47,6 +70,7 @@ class ExecutionStats:
     degradation_events: List[str] = field(default_factory=list)
     spill_count: int = 0
     spilled_rows: int = 0
+    pipelines: Optional[PipelineStats] = None
 
     def record(self, node_id: int, stats: NodeStats) -> None:
         self.nodes[node_id] = stats
@@ -95,6 +119,12 @@ class ExecutionStats:
                 f"work={s.work:<10} {s.label}"
             )
         lines.append(f"total work: {self.total_work()}")
+        if self.pipelines is not None:
+            p = self.pipelines
+            lines.append(
+                f"pipelines: {p.segments} segments, {p.morsels} morsels, "
+                f"max in-flight ~{p.max_inflight_bytes} bytes"
+            )
         if self.spill_count:
             lines.append(
                 f"spills: {self.spill_count} ({self.spilled_rows} rows to disk)"

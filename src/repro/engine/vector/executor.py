@@ -82,13 +82,26 @@ class VectorExecutor:
         self.database = database
         self.config = config
         self.params = params
+        # The recursion hook: every operator recurses into children through
+        # this indirection.  run() points it at the morsel driver when
+        # streaming is enabled, so fused chains anywhere in the plan are
+        # intercepted; morsel_size=None keeps the classic per-operator path.
+        self._recurse = self._execute
 
     def run(self, fused: PlanNode) -> Tuple[DataSet, ExecutionStats]:
         """Execute an already-fused plan; returns (result, statistics)."""
         stats = ExecutionStats()
         governor = ResourceGovernor.from_config(self.config)
+        if self.config.morsel_size is not None:
+            from repro.engine.vector.morsel import MorselDriver
+
+            driver = MorselDriver(self)
+            self._recurse = driver.execute_node
+            stats.pipelines = driver.pipeline
+        else:
+            self._recurse = self._execute
         try:
-            batch = self._execute(fused, stats, governor)
+            batch = self._recurse(fused, stats, governor)
             result = batch.to_dataset()
         finally:
             stats.spill_count = governor.spill_count
@@ -196,6 +209,7 @@ class VectorExecutor:
     def _scan(
         self, node: Relation, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
+        governor.tick(node.label())
         table = self.database.table(node.table_name)
         correlation = node.correlation
         expose = self.config.expose_rowids
@@ -228,7 +242,8 @@ class VectorExecutor:
     def _select(
         self, node: Select, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
-        child = self._execute(node.child, stats, governor)
+        governor.tick(node.label())
+        child = self._recurse(node.child, stats, governor)
 
         def compute() -> Tuple[ColumnBatch, int]:
             return kernels.filter_batch(child, node.condition, self.params)
@@ -262,7 +277,8 @@ class VectorExecutor:
     def _project(
         self, node: Project, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
-        child = self._execute(node.child, stats, governor)
+        governor.tick(node.label())
+        child = self._recurse(node.child, stats, governor)
 
         def compute() -> Tuple[ColumnBatch, int]:
             batch = kernels.project_batch(child, node.columns)
@@ -294,8 +310,9 @@ class VectorExecutor:
     def _product(
         self, node: Product, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
-        left = self._execute(node.left, stats, governor, "L")
-        right = self._execute(node.right, stats, governor, "R")
+        governor.tick(node.label())
+        left = self._recurse(node.left, stats, governor, "L")
+        right = self._recurse(node.right, stats, governor, "R")
 
         def compute() -> Tuple[ColumnBatch, int]:
             return kernels.cartesian_product_batch(left, right)
@@ -324,8 +341,9 @@ class VectorExecutor:
     def _join(
         self, node: Join, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
-        left = self._execute(node.left, stats, governor, "L")
-        right = self._execute(node.right, stats, governor, "R")
+        governor.tick(node.label())
+        left = self._recurse(node.left, stats, governor, "L")
+        right = self._recurse(node.right, stats, governor, "R")
         algorithm = self.config.join_algorithm
 
         def row_path() -> Tuple[ColumnBatch, int]:
@@ -418,7 +436,8 @@ class VectorExecutor:
     def _group_apply(
         self, node: GroupApply, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
-        child = self._execute(node.child, stats, governor)
+        governor.tick(node.label())
+        child = self._recurse(node.child, stats, governor)
         state_bytes = estimate_table_bytes(child.length, len(child.names))
         if self.config.aggregation == "sort":
             from repro.engine.sorting import is_sorted_on
@@ -480,7 +499,8 @@ class VectorExecutor:
     def _sort(
         self, node: Sort, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
-        child = self._execute(node.child, stats, governor)
+        governor.tick(node.label())
+        child = self._recurse(node.child, stats, governor)
         batch, work = self._sorted(
             node.label(), child, node.columns, node.descending, stats, governor
         )
@@ -493,8 +513,9 @@ class VectorExecutor:
     def _bare_group(
         self, node: Group, stats: ExecutionStats, governor: ResourceGovernor
     ) -> ColumnBatch:
+        governor.tick(node.label())
         # G[GA] alone: grouping realized by sorting, rows unchanged.
-        child = self._execute(node.child, stats, governor)
+        child = self._recurse(node.child, stats, governor)
         batch, work = self._sorted(
             node.label(), child, node.grouping_columns, None, stats, governor
         )

@@ -62,12 +62,15 @@ class Planner:
         policy: str = "cost",
         assume_unique_keys: bool = False,
         engine: str = "row",
+        workers: int = 1,
     ) -> None:
         if policy not in POLICIES:
             raise PlanningError(f"unknown policy {policy!r}; pick one of {POLICIES}")
         self.database = database
         self.estimator = CardinalityEstimator(database, statistics)
-        self.cost_model = CostModel(self.estimator, weights, join_algorithm, engine)
+        self.cost_model = CostModel(
+            self.estimator, weights, join_algorithm, engine, workers
+        )
         self.policy = policy
         self.assume_unique_keys = assume_unique_keys
 

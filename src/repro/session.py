@@ -78,6 +78,13 @@ class QueryReport:
                 + ", ".join(certificate.rule for certificate in self.rewrites)
             )
         lines.append(render_annotated(self.plan, self.stats.cardinality_map()))
+        pipelines = self.stats.pipelines
+        if pipelines is not None:
+            lines.append(
+                f"pipelines: {pipelines.segments} segments, "
+                f"{pipelines.morsels} morsels, max in-flight "
+                f"~{pipelines.max_inflight_bytes} bytes"
+            )
         if certify:
             certificate = self.certificate
             if certificate is None and not self.rewrites:
@@ -311,6 +318,7 @@ class Session:
             self.database,
             policy=self.policy,
             engine=self.executor_config.engine,
+            workers=self.executor_config.workers,
         )
         choice = planner.choose(query)
         # Fuse Group/Apply before running so the report's plan nodes carry

@@ -1,0 +1,78 @@
+"""Property: morsel shape is unobservable.
+
+For any table contents and any (morsel size, worker count), a grouped
+aggregation's result is the same multiset the row engine produces — the
+streaming decomposition, the partial-aggregate merge, and the parallel
+dispatch are pure implementation detail.  Integer measures keep every
+fold exact, so the comparison is equality, not tolerance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.ops import AggregateSpec, GroupApply, Relation, Select
+from repro.catalog import Column, Database, TableSchema
+from repro.engine.executor import ExecutorConfig, execute
+from repro.expressions.builder import (
+    avg,
+    col,
+    count,
+    count_star,
+    gt,
+    max_,
+    min_,
+    sum_,
+)
+from repro.sqltypes import INTEGER
+from repro.sqltypes.values import NULL
+
+
+def _database(rows):
+    database = Database("prop")
+    database.create_table(
+        TableSchema("T", [Column("k", INTEGER), Column("v", INTEGER)])
+    )
+    for key, value in rows:
+        database.insert("T", [key, value])
+    return database
+
+
+def _plan(threshold):
+    return GroupApply(
+        Select(Relation("T", "T"), gt(col("T.v"), threshold)),
+        ["T.k"],
+        [
+            AggregateSpec("n", count_star()),
+            AggregateSpec("nv", count(col("T.v"))),
+            AggregateSpec("s", sum_("T.v")),
+            AggregateSpec("a", avg("T.v")),
+            AggregateSpec("mn", min_("T.v")),
+            AggregateSpec("mx", max_("T.v")),
+        ],
+    )
+
+
+_value = st.one_of(st.just(NULL), st.integers(min_value=-50, max_value=50))
+_rows = st.lists(st.tuples(_value, _value), max_size=60)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=_rows,
+    morsel_size=st.sampled_from([1, 2, 3, 5, 8, 32768, None]),
+    workers=st.sampled_from([1, 2]),
+    threshold=st.integers(min_value=-60, max_value=60),
+)
+def test_group_by_invariant_under_morsel_permutations(
+    rows, morsel_size, workers, threshold
+):
+    database = _database(rows)
+    plan = _plan(threshold)
+    expected, __ = execute(database, plan, ExecutorConfig(engine="row"))
+    actual, __ = execute(
+        database,
+        plan,
+        ExecutorConfig(
+            engine="vector", morsel_size=morsel_size, workers=workers
+        ),
+    )
+    assert actual.equals_multiset(expected)
