@@ -114,6 +114,46 @@ class Database:
         except KeyError:
             raise CatalogError(f"no such domain: {name}") from None
 
+    # -- snapshot support (the server's MVCC reads) ---------------------------
+
+    def snapshot_view(self) -> "Database":
+        """A shallow catalog copy sharing the current table objects.
+
+        The copy owns its *dicts* (tables/domains/views/assertions) but
+        shares every :class:`~repro.storage.table.Table`: under the
+        server's copy-on-write protocol published tables are frozen and
+        never mutated in place, so the view is a consistent, immutable
+        snapshot — later writes swap fresh clones into the *authoritative*
+        dicts and this view never sees them.
+        """
+        view = Database(self.name)
+        view.tables = dict(self.tables)
+        view.domains = dict(self.domains)
+        view.views = dict(self.views)
+        view.assertions = dict(self.assertions)
+        return view
+
+    def fk_neighbors(self, table_name: str) -> "frozenset[str]":
+        """``table_name`` plus every table one foreign key away, either
+        direction — the tables whose contents a write to ``table_name``
+        may read (parent lookups) or invalidate (RESTRICT checks on
+        children).  This is exactly the lock set a serializing writer
+        must hold so concurrent commits cannot produce write skew
+        (e.g. delete-parent racing insert-child).
+        """
+        names = {table_name}
+        table = self.tables.get(table_name)
+        if table is not None:
+            for fk in table.schema.foreign_keys():
+                assert isinstance(fk, ForeignKeyConstraint)
+                names.add(fk.referenced_table)
+        for other_name, other in self.tables.items():
+            for fk in other.schema.foreign_keys():
+                assert isinstance(fk, ForeignKeyConstraint)
+                if fk.referenced_table == table_name:
+                    names.add(other_name)
+        return frozenset(names)
+
     # -- DML with cross-table enforcement -------------------------------------
 
     def insert(

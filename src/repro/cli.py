@@ -30,7 +30,12 @@ Subcommands (no REPL):
 * ``repro bench [--quick] [--out path] [--repeat n]`` — time the paper's
   workload scenarios on both execution backends (row vs. vector), check
   result/stats parity, and write ``BENCH_vector.json``; ``--quick`` is
-  the CI smoke mode (small data + the differential-equivalence harness).
+  the CI smoke mode (small data + the differential-equivalence harness);
+  ``--server`` runs the concurrent multi-session workload instead and
+  writes ``BENCH_server.json``.
+* ``repro serve [--port P] [--max-slots N] [script.sql ...]`` — run the
+  multi-session TCP server (snapshot reads, serialized writes, admission
+  control; see :mod:`repro.server`).
 """
 
 from __future__ import annotations
@@ -62,7 +67,9 @@ Enter SQL terminated by ';'.  Dot-commands:
   .policy <name>       set planner policy (cost, always_eager, never_eager)
   .engine <name>       set execution backend (row, vector)
   .morsels <n|off>     set the vector engine's morsel size (off = materialize)
-  .workers <n>         set the worker count for parallel morsel pipelines
+  .workers <n|auto>    set the worker count for parallel morsel pipelines
+                       (auto = one per core, clamped to os.cpu_count())
+  .sessions            list the attached server's open sessions
   .rewrites <spec>     set certified rewrites (all, none, or a comma list of
                        predicate_pushdown, join_reordering, projection_pruning)
   .help                this text
@@ -77,9 +84,13 @@ class Shell:
         self,
         session: Optional[Session] = None,
         out: TextIO = sys.stdout,
+        server: Optional[object] = None,
     ) -> None:
         self.session = session if session is not None else Session()
         self.out = out
+        #: The :class:`repro.server.server.Server` this shell is attached
+        #: to, if any (set by ``repro serve``); enables ``.sessions``.
+        self.server = server
         self.done = False
         #: Exit code of the most recent failed statement, by error family:
         #: parse=2, bind=3, execution=4, resource=5.  Sticky — later
@@ -126,6 +137,8 @@ class Shell:
             self._set_morsels(argument)
         elif command == ".workers":
             self._set_workers(argument)
+        elif command == ".sessions":
+            self._list_sessions()
         elif command == ".rewrites":
             self._set_rewrites(argument)
         elif command == ".script":
@@ -172,13 +185,33 @@ class Shell:
         from dataclasses import replace
 
         try:
+            count = parse_workers(spec)
             self.session.executor_config = replace(
-                self.session.executor_config, workers=int(spec)
+                self.session.executor_config, workers=count
             )
         except ValueError as error:
             self.write(f"error: bad workers {spec!r}: {error}")
             return
-        self.write(f"workers set to {int(spec)}")
+        if count == 0:
+            from repro.engine.vector.parallel import resolve_workers
+
+            self.write(f"workers set to auto ({resolve_workers(0)} on this host)")
+        else:
+            self.write(f"workers set to {count}")
+
+    def _list_sessions(self) -> None:
+        if self.server is None:
+            self.write("no server attached (start one with: repro serve)")
+            return
+        sessions = self.server.sessions()
+        if not sessions:
+            self.write("no open sessions")
+            return
+        for s in sessions:
+            self.write(
+                f"{s.id}  tenant={s.tenant}  queries={s.queries}  "
+                f"writes={s.writes}  epoch={s.last_epoch}"
+            )
 
     def _set_rewrites(self, spec: str) -> None:
         from dataclasses import replace
@@ -421,6 +454,119 @@ def _explain_command(arguments: list, out: TextIO = sys.stdout) -> int:
     return 0
 
 
+def parse_workers(text: str) -> int:
+    """Parse a ``--workers`` / ``.workers`` value; ``auto`` means the
+    autotuner sentinel 0 (resolved to ``os.cpu_count()``, clamped, by
+    :func:`repro.engine.vector.parallel.resolve_workers`)."""
+    if text == "auto":
+        return 0
+    count = int(text)
+    if count < 1:
+        raise ValueError("workers must be a positive integer or 'auto'")
+    return count
+
+
+def _serve_command(arguments: list, out: TextIO = sys.stdout) -> int:
+    """``repro serve``: run the multi-session TCP server.
+
+    ``repro serve [--host H] [--port P] [--max-slots N] [--max-bytes B]
+    [--engine row|vector] [--workers N|auto] [script.sql ...]`` — seed
+    scripts load into the database first, then the server accepts
+    line-protocol clients (see :mod:`repro.server.net`) until
+    interrupted.
+    """
+    from dataclasses import replace
+
+    from repro.server.net import ReproServer
+    from repro.server.server import Server
+
+    def write(text: str) -> None:
+        out.write(text + "\n")
+
+    host, port = "127.0.0.1", 7432
+    max_slots = max_bytes = None
+    config_overrides: dict = {}
+    paths: list = []
+    option_parsers = {
+        "--host": str,
+        "--port": int,
+        "--max-slots": int,
+        "--max-bytes": int,
+        "--engine": str,
+        "--workers": parse_workers,
+    }
+    i = 0
+    try:
+        while i < len(arguments):
+            argument = arguments[i]
+            name, __, inline = argument.partition("=")
+            if name in option_parsers:
+                if not inline:
+                    i += 1
+                    if i >= len(arguments):
+                        raise ValueError(f"{name} requires a value")
+                    inline = arguments[i]
+                value = option_parsers[name](inline)
+                if name == "--host":
+                    host = value
+                elif name == "--port":
+                    port = value
+                elif name == "--max-slots":
+                    max_slots = value
+                elif name == "--max-bytes":
+                    max_bytes = value
+                elif name == "--engine":
+                    config_overrides["engine"] = value
+                else:
+                    config_overrides["workers"] = value
+            else:
+                paths.append(argument)
+            i += 1
+    except ValueError as error:
+        write(f"error: {error}")
+        return 2
+
+    from repro.engine.executor import ExecutorConfig
+
+    try:
+        config = (
+            replace(ExecutorConfig(), **config_overrides)
+            if config_overrides
+            else ExecutorConfig()
+        )
+    except ValueError as error:
+        write(f"error: {error}")
+        return 2
+    database = Database()
+    for path in paths:
+        try:
+            with open(path) as handle:
+                statements = parse_script(handle.read())
+            for statement in statements:
+                execute_statement(database, statement)
+        except (OSError, ReproError) as error:
+            write(f"error loading {path}: {error}")
+            return error_exit_code(error) if isinstance(error, ReproError) else 2
+    server = Server(
+        database, max_slots=max_slots, max_bytes=max_bytes,
+        executor_config=config,
+    )
+    front = ReproServer(server, host=host, port=port)
+    bound_host, bound_port = front.address
+    write(
+        f"serving on {bound_host}:{bound_port} "
+        f"({len(database.tables)} tables; .quit to disconnect clients, "
+        "Ctrl-C to stop)"
+    )
+    try:
+        front.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        front.stop()
+    return 0
+
+
 def _extract_budget_flags(arguments: list):
     """Strip ``--timeout SECONDS``, ``--memory-limit BYTES``,
     ``--morsel-size ROWS|off`` and ``--workers N`` from an argument list;
@@ -442,7 +588,7 @@ def _extract_budget_flags(arguments: list):
             "morsel_size",
             lambda text: None if text in ("off", "none") else int(text),
         ),
-        "--workers": ("workers", int),
+        "--workers": ("workers", parse_workers),
     }
     i = 0
     while i < len(arguments):
@@ -489,6 +635,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         from repro.engine.vector.bench import main as bench_main
 
         return bench_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        return _serve_command(arguments[1:])
     try:
         arguments, budget = _extract_budget_flags(arguments)
     except ValueError as error:

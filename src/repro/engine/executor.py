@@ -104,7 +104,10 @@ class ExecutorConfig:
       streaming entirely (the materialize-per-operator path).
     * ``workers``: processes for morsel-parallel partial aggregation
       (:mod:`repro.engine.vector.parallel`).  ``1`` keeps everything
-      serial; results are bit-identical either way.
+      serial; ``0`` means *auto* — the worker-count autotuner picks
+      ``os.cpu_count()`` (clamped, see
+      :func:`repro.engine.vector.parallel.resolve_workers`).  Results are
+      bit-identical whatever the count.
     """
 
     join_algorithm: str = "auto"
@@ -166,8 +169,8 @@ class ExecutorConfig:
             raise ValueError("max_rows must be non-negative")
         if self.morsel_size is not None and self.morsel_size <= 0:
             raise ValueError("morsel_size must be positive (or None)")
-        if self.workers < 1:
-            raise ValueError("workers must be at least 1")
+        if self.workers < 0:
+            raise ValueError("workers must be at least 1 (or 0 for auto)")
 
 
 class Executor:

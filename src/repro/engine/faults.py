@@ -8,7 +8,12 @@ engine, chosen by (engine, operator label, occurrence).  Both executors
 call :func:`injection_point` at every operator — the row engine before
 running an operator's body, the vector engine inside the kernel guard
 (after the children, so a fault exercises the degradation ladder rather
-than re-running the subtree).
+than re-running the subtree).  The multi-session server adds a third
+engine string: ``"write"`` injection points fire on the commit path of
+:class:`repro.server.snapshot.VersionedCatalog`, *after* the shadow
+mutation and *before* the atomic publish — a fault there models a
+mid-write crash, and the contract is that the version bump rolls back
+(the cloned table is discarded, readers never observe it).
 
 Three fault kinds, mirroring the failure modes production engines see:
 
@@ -26,10 +31,20 @@ Injection is deterministic (no randomness, no clocks): the Nth matching
 visit fires, so a test matrix can hit every operator of every plan
 exactly once.  Use the :func:`inject` context manager; nesting is not
 supported (one active injector per process).
+
+Concurrency-aware injection: a :class:`FaultSpec` may be *scoped* to one
+session (``session="s3"``).  Executing threads declare their scope with
+the :func:`scope` context manager (the server session does this around
+every query and write); a scoped spec only matches visits from threads
+inside a matching scope, so a chaos test can crash exactly one session's
+queries while every concurrent session proceeds untouched.  The injector
+itself is thread-safe — occurrence counting is serialized under a lock —
+and specs can be armed while other threads run (:meth:`FaultInjector.arm`).
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
@@ -41,65 +56,108 @@ class KernelFault(ExecutionError):
     """An injected operator-kernel failure (see :mod:`repro.engine.faults`)."""
 
 
+_SCOPE = threading.local()
+
+
+@contextmanager
+def scope(session: Optional[str]) -> Iterator[None]:
+    """Tag the current thread's injection-point visits with a session id.
+
+    Scoped :class:`FaultSpec`\\ s (``session=...``) only fire inside a
+    matching scope; unscoped specs fire regardless.  Scopes nest — the
+    innermost wins — and always restore on exit.
+    """
+    previous = getattr(_SCOPE, "session", None)
+    _SCOPE.session = session
+    try:
+        yield
+    finally:
+        _SCOPE.session = previous
+
+
+def current_scope() -> Optional[str]:
+    """The session id the current thread's visits are tagged with."""
+    return getattr(_SCOPE, "session", None)
+
+
 @dataclass
 class FaultSpec:
     """One planted fault: fire ``kind`` at the ``occurrence``-th visit of a
     matching injection point.
 
-    ``engine`` is ``"row"``, ``"vector"``, or ``None`` (either);
-    ``label`` is the exact operator label (``None`` matches any operator).
+    ``engine`` is ``"row"``, ``"vector"``, ``"write"`` (the server's
+    commit path), or ``None`` (any); ``label`` is the exact operator
+    label (``None`` matches any operator); ``session`` restricts the
+    spec to visits from threads inside a matching :func:`scope` (``None``
+    matches every thread).  Occurrences are counted per spec across all
+    matching visits, whole-injector-serialized, so concurrent sessions
+    cannot double-fire a single-occurrence spec.
     """
 
     kind: str  # "kernel" | "alloc" | "timeout"
     engine: Optional[str] = None
     label: Optional[str] = None
     occurrence: int = 0
+    session: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("kernel", "alloc", "timeout"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
-    def matches(self, engine: str, label: str) -> bool:
+    def matches(
+        self, engine: str, label: str, session: Optional[str] = None
+    ) -> bool:
         if self.engine is not None and self.engine != engine:
             return False
         if self.label is not None and self.label != label:
+            return False
+        if self.session is not None and self.session != session:
             return False
         return True
 
 
 @dataclass
 class FaultInjector:
-    """Counts injection-point visits and fires armed specs."""
+    """Counts injection-point visits and fires armed specs (thread-safe)."""
 
     specs: Tuple[FaultSpec, ...]
     visits: List[Tuple[str, str]] = field(default_factory=list)
     fired: List[Tuple[FaultSpec, str, str]] = field(default_factory=list)
     _matched: List[int] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self) -> None:
         self._matched = [0] * len(self.specs)
 
+    def arm(self, spec: FaultSpec) -> FaultSpec:
+        """Add one more spec while the injector is live (chaos schedules)."""
+        with self._lock:
+            self.specs = self.specs + (spec,)
+            self._matched.append(0)
+        return spec
+
     def visit(self, engine: str, label: str) -> None:
-        self.visits.append((engine, label))
-        for i, spec in enumerate(self.specs):
-            if not spec.matches(engine, label):
-                continue
-            seen = self._matched[i]
-            self._matched[i] = seen + 1
-            if seen != spec.occurrence:
-                continue
-            self.fired.append((spec, engine, label))
-            if spec.kind == "kernel":
-                raise KernelFault(
-                    f"injected kernel fault in {engine} engine"
-                )
-            if spec.kind == "alloc":
-                raise MemoryError(
-                    f"injected allocation failure in {engine} engine"
-                )
-            raise QueryTimeout(
-                f"injected timeout in {engine} engine"
-            )
+        session = current_scope()
+        to_fire: Optional[FaultSpec] = None
+        with self._lock:
+            self.visits.append((engine, label))
+            for i, spec in enumerate(self.specs):
+                if not spec.matches(engine, label, session):
+                    continue
+                seen = self._matched[i]
+                self._matched[i] = seen + 1
+                if seen != spec.occurrence:
+                    continue
+                self.fired.append((spec, engine, label))
+                to_fire = spec
+                break
+        if to_fire is None:
+            return
+        if to_fire.kind == "kernel":
+            raise KernelFault(f"injected kernel fault in {engine} engine")
+        if to_fire.kind == "alloc":
+            raise MemoryError(f"injected allocation failure in {engine} engine")
+        raise QueryTimeout(f"injected timeout in {engine} engine")
 
 
 _ACTIVE: Optional[FaultInjector] = None

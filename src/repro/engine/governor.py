@@ -34,6 +34,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import time
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -324,6 +325,82 @@ class ResourceGovernor:
 #: calls (tests, library use) that never constructed an Executor.
 def unlimited() -> ResourceGovernor:
     return ResourceGovernor()
+
+
+class BudgetPool:
+    """A thread-safe server-level budget pool: query slots plus bytes.
+
+    Where :class:`ResourceGovernor` meters *one* execution against its
+    declared budget, a :class:`BudgetPool` is the shared reservoir those
+    budgets are carved from: the server's admission controller reserves a
+    (slot, bytes) pair per query before it starts and releases it when
+    the query finishes, so the sum of concurrently-granted budgets never
+    exceeds the pool.  Reservation is non-blocking by design — admission
+    *rejects* rather than queues (the typed
+    :class:`~repro.errors.AdmissionRejected` carries a retry hint and the
+    client backs off), so no reader or writer ever blocks inside the
+    server on another tenant's work.
+
+    ``None`` limits disable that dimension.  ``waiting`` counts rejected
+    reservations since the last successful release — the admission
+    controller's deterministic load signal for ``retry_after`` hints.
+    """
+
+    def __init__(
+        self,
+        max_slots: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_slots is not None and max_slots < 1:
+            raise ValueError("max_slots must be at least 1")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_slots = max_slots
+        self.max_bytes = max_bytes
+        self.used_slots = 0
+        self.used_bytes = 0
+        self.waiting = 0
+        self.rejections = 0
+        self.peak_slots = 0
+        self._lock = threading.Lock()
+
+    def try_reserve(self, nbytes: int = 0) -> Optional[str]:
+        """Reserve one slot and ``nbytes``; returns ``None`` on success or
+        the exhausted resource name (``"slots"`` / ``"memory"``)."""
+        with self._lock:
+            if self.max_slots is not None and self.used_slots >= self.max_slots:
+                self.waiting += 1
+                self.rejections += 1
+                return "slots"
+            if (
+                self.max_bytes is not None
+                and self.used_bytes + nbytes > self.max_bytes
+            ):
+                self.waiting += 1
+                self.rejections += 1
+                return "memory"
+            self.used_slots += 1
+            self.used_bytes += nbytes
+            if self.used_slots > self.peak_slots:
+                self.peak_slots = self.used_slots
+            return None
+
+    def release(self, nbytes: int = 0) -> None:
+        with self._lock:
+            self.used_slots = max(0, self.used_slots - 1)
+            self.used_bytes = max(0, self.used_bytes - nbytes)
+            self.waiting = 0
+
+    def load(self) -> int:
+        """Rejected reservations since the last release (retry pressure)."""
+        with self._lock:
+            return self.waiting
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BudgetPool(slots={self.used_slots}/{self.max_slots}, "
+            f"bytes={self.used_bytes}/{self.max_bytes})"
+        )
 
 
 # -- external merge ----------------------------------------------------------

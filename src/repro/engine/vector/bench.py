@@ -469,9 +469,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=lambda text: 0 if text == "auto" else int(text),
         default=1,
-        help="worker count for parallel morsel pipelines",
+        help="worker count for parallel morsel pipelines "
+        "('auto' = one per core, clamped to os.cpu_count())",
     )
     parser.add_argument(
         "--morsels",
@@ -479,11 +480,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the morsel sweep (serial vs parallel at three morsel "
         "sizes) and write BENCH_morsel.json instead of the backend bench",
     )
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        help="run the concurrent multi-session server workload and write "
+        "BENCH_server.json instead of the backend bench",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="concurrent sessions for --server",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed for --server"
+    )
     options = parser.parse_args(argv)
     morsel_size = (
         None if options.morsel_size in ("off", "none")
         else int(options.morsel_size)
     )
+
+    if options.server:
+        from repro.server.bench import render_server_report, run_server_bench
+
+        report = run_server_bench(
+            sessions=options.sessions,
+            operations=10 if options.quick else 40,
+            seed=options.seed,
+            engine="vector",
+            morsel_size=morsel_size,
+            prefill_rows=200 if options.quick else 2000,
+        )
+        print(render_server_report(report))
+        out_path = options.out or "BENCH_server.json"
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {out_path}")
+        return 0 if report["replay_consistent"] else 1
 
     if options.morsels:
         sweep = run_morsel_bench(

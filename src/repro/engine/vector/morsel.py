@@ -260,6 +260,32 @@ class _GrowAcc:
         return self.state
 
 
+def _minmax_array(values, batch: ColumnBatch):
+    """A numpy view of a MIN/MAX argument column, or ``None``.
+
+    Stricter than :func:`kernels._values_array`: MIN/MAX keep the *exact
+    winning value* (type identity matters for ``=ⁿ`` bit-equality), so
+    only direct batch columns qualify — :meth:`ColumnBatch.as_array`
+    guarantees those are homogeneous ``{int}`` or ``{float}`` and
+    NULL-free, so ``tolist()`` round-trips every element exactly.
+    Computed argument lists may mix int and float (``asarray`` would
+    silently promote the ints) and are left to the per-row fold.  Float
+    columns containing NaN also fall back: ``reduceat`` propagates NaN
+    while the fold's strict ``<`` never selects it.
+    """
+    if _np is None:
+        return None
+    for index, column in enumerate(batch.columns):
+        if column is values:
+            arr = batch.as_array(index)
+            if arr is None:
+                return None
+            if arr.dtype.kind == "f" and _np.isnan(arr).any():
+                return None
+            return arr
+    return None
+
+
 # -- pipeline stages ---------------------------------------------------------
 
 
@@ -502,6 +528,34 @@ class _AggStage:
                                 g, int(totals[g]), int(counts[g])
                             )
                         continue
+            if (
+                counts is not None
+                and not aggregate.distinct
+                and acc.function in ("MIN", "MAX")
+            ):
+                arr = _minmax_array(values, batch)
+                if arr is not None:
+                    # Per-morsel extreme per group: one stable argsort on
+                    # the gid array, then a single reduceat over the
+                    # group-contiguous permutation — C speed instead of a
+                    # per-row Python fold.  Merging the morsel extreme
+                    # uses the same strict comparison as the fold, so
+                    # the globally-first value among ties still wins.
+                    order = _np.argsort(gids, kind="stable")
+                    sorted_gids = gids[order]
+                    sorted_values = arr[order]
+                    starts = _np.flatnonzero(
+                        _np.r_[True, sorted_gids[1:] != sorted_gids[:-1]]
+                    )
+                    reducer = (
+                        _np.minimum if acc.function == "MIN" else _np.maximum
+                    )
+                    extremes = reducer.reduceat(sorted_values, starts)
+                    for g, extreme in zip(
+                        sorted_gids[starts].tolist(), extremes.tolist()
+                    ):
+                        acc.merge_minmax(g, extreme, int(counts[g]))
+                    continue
             if gids_list is None:
                 gids_list = gids if isinstance(gids, list) else gids.tolist()
             feed = acc.feed
@@ -585,9 +639,14 @@ class MorselDriver:
     """
 
     def __init__(self, executor) -> None:
+        from repro.engine.vector.parallel import resolve_workers
+
         self.executor = executor
         self.config = executor.config
         self.morsel_size: int = executor.config.morsel_size
+        #: Autotuned worker count (``workers=0`` resolves to the clamped
+        #: cpu count; explicit counts pass through).
+        self.workers: int = resolve_workers(executor.config.workers)
         self.pipeline = PipelineStats()
 
     def execute_node(
@@ -732,7 +791,7 @@ class MorselDriver:
                     source=source,
                     morsel_size=morsel_size,
                     n_morsels=n_morsels,
-                    workers=self.config.workers,
+                    workers=self.workers,
                     governor=governor,
                 )
             if parallel_inflight is not None:
@@ -809,7 +868,7 @@ class MorselDriver:
         return final
 
     def _parallel_eligible(self, governor, n_morsels: int, chain) -> bool:
-        if self.config.workers < 2 or n_morsels < 2:
+        if self.workers < 2 or n_morsels < 2:
             return False
         if governor.memory_limit_bytes is not None:
             # Spill parity: budgeted runs stay serial so every should_spill

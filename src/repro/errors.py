@@ -78,6 +78,27 @@ class RowLimitExceeded(ResourceError):
     """An operator produced more rows than the ``max_rows`` budget allows."""
 
 
+class AdmissionRejected(ResourceError):
+    """The server's admission controller refused to start the query.
+
+    Unlike the other resource errors this fires *before* any execution:
+    the server-level budget pool (concurrent-query slots, memory pool,
+    per-tenant quotas — see :mod:`repro.server.admission`) had no room.
+    Carries which ``resource`` was exhausted (``"slots"``, ``"memory"``,
+    ``"tenant-slots"``, ``"tenant-memory"``) and a ``retry_after`` hint in
+    seconds — the contract the client-side backoff helper
+    (:func:`repro.server.retry.call_with_backoff`) builds on.  Shares the
+    resource exit-code family (5).
+    """
+
+    def __init__(
+        self, message: str, resource: str = "slots", retry_after: float = 0.05
+    ) -> None:
+        super().__init__(f"{message} (retry after {retry_after:.3f}s)")
+        self.resource = resource
+        self.retry_after = retry_after
+
+
 def annotate_operator(error: BaseException, frame: str) -> None:
     """Append a plan-node breadcrumb to an in-flight error.
 

@@ -66,10 +66,15 @@ class Planner:
     ) -> None:
         if policy not in POLICIES:
             raise PlanningError(f"unknown policy {policy!r}; pick one of {POLICIES}")
+        from repro.engine.vector.parallel import resolve_workers
+
         self.database = database
         self.estimator = CardinalityEstimator(database, statistics)
+        # workers=0 is the auto sentinel: cost plans with the autotuned
+        # effective count, the same number the morsel driver will use.
         self.cost_model = CostModel(
-            self.estimator, weights, join_algorithm, engine, workers
+            self.estimator, weights, join_algorithm, engine,
+            resolve_workers(workers),
         )
         self.policy = policy
         self.assume_unique_keys = assume_unique_keys

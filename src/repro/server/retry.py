@@ -1,0 +1,77 @@
+"""Client-side retry with jittered exponential backoff.
+
+The admission contract is reject-don't-queue: a loaded server answers
+with :class:`~repro.errors.AdmissionRejected` (carrying a ``retry_after``
+hint) instead of making the caller wait inside the server.  The waiting
+therefore happens *here*, on the client's own time:
+:func:`call_with_backoff` retries the callable with exponentially growing,
+jittered delays — never sleeping less than the server's hint — until it
+succeeds, the deadline passes, or the attempt budget runs out.
+
+Jitter is full-range (``delay * uniform(0.5, 1.0)`` around the doubling
+schedule) from a caller-supplied seeded RNG, so concurrent clients
+decorrelate their retries *and* tests replay the exact schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import AdmissionRejected
+
+T = TypeVar("T")
+
+
+def call_with_backoff(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 8,
+    base_delay: float = 0.01,
+    factor: float = 2.0,
+    max_delay: float = 1.0,
+    deadline_seconds: Optional[float] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> T:
+    """Call ``fn`` until it is admitted; backoff between rejections.
+
+    Only :class:`~repro.errors.AdmissionRejected` is retried — every
+    other error (including the resource errors a *running* query can
+    raise) propagates immediately: admission rejection means "try again
+    later", a typed execution failure means "this query failed".
+
+    The sleep before attempt *k* is
+    ``max(hint, min(max_delay, base_delay * factor**k) * jitter)`` where
+    ``hint`` is the server's ``retry_after`` and ``jitter`` is drawn
+    uniformly from [0.5, 1.0].  ``sleep``/``clock`` are injectable so
+    tests run instantly and deterministically.
+
+    Raises the last :class:`AdmissionRejected` when ``attempts`` are
+    exhausted or ``deadline_seconds`` has passed.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    generator = rng if rng is not None else random.Random(seed)
+    started = clock()
+    last: Optional[AdmissionRejected] = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except AdmissionRejected as error:
+            last = error
+            if attempt == attempts - 1:
+                break
+            delay = min(max_delay, base_delay * (factor ** attempt))
+            delay = max(error.retry_after, delay * generator.uniform(0.5, 1.0))
+            if (
+                deadline_seconds is not None
+                and clock() - started + delay > deadline_seconds
+            ):
+                break
+            sleep(delay)
+    assert last is not None
+    raise last

@@ -54,6 +54,9 @@ class QueryReport:
     stats: ExecutionStats
     choice: Optional[PlanChoice] = None
     rewrites: Tuple = ()  # RuleCertificates of applied certified rewrites
+    #: The commit epoch this query's snapshot was pinned at, when the
+    #: query ran through the multi-session server (None otherwise).
+    snapshot_epoch: Optional[int] = None
 
     @property
     def certificate(self):

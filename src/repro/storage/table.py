@@ -34,6 +34,11 @@ class Table:
         #: Bumped on every mutation; lets derived physical representations
         #: (e.g. the vector backend's columnar scan cache) detect staleness.
         self.version = 0
+        #: Published copy-on-write snapshots set this: a frozen table
+        #: refuses every mutation, so a pinned reader can never observe a
+        #: write (writers must :meth:`clone` first — the MVCC protocol of
+        #: :mod:`repro.server.snapshot`).
+        self._frozen = False
         # Per-key duplicate indexes for O(1) key checks.
         self._key_indexes: Dict[Tuple[str, ...], Dict[Tuple, int]] = {
             key: {} for key in schema.candidate_keys()
@@ -59,6 +64,48 @@ class Table:
     def column_names(self) -> Tuple[str, ...]:
         return self.schema.column_names()
 
+    # -- copy-on-write snapshots ------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "Table":
+        """Make this table immutable (raises on any further mutation).
+
+        Published tables of a :class:`repro.server.snapshot.VersionedCatalog`
+        are always frozen: concurrent readers share them without locks, so
+        the only legal write path is clone → mutate → atomic swap.
+        """
+        self._frozen = True
+        return self
+
+    def clone(self) -> "Table":
+        """An independent, *unfrozen* copy sharing the immutable rows.
+
+        Rows themselves are immutable (:class:`Row` value tuples), so the
+        copy is shallow at the row level but deep for every mutable
+        container (row list, key indexes).  The clone keeps ``version``
+        and ``_next_rowid`` — a write applied to the clone bumps the
+        version past the original's, which is what makes the published
+        version sequence monotone across copy-on-write swaps.
+        """
+        twin = Table(self.schema)
+        twin._rows = list(self._rows)
+        twin._next_rowid = self._next_rowid
+        twin.version = self.version
+        twin._key_indexes = {
+            key: dict(index) for key, index in self._key_indexes.items()
+        }
+        return twin
+
+    def _mutable(self) -> None:
+        if self._frozen:
+            raise CatalogError(
+                f"table {self.name} is frozen (published snapshot); "
+                "writes must go through the server's copy-on-write path"
+            )
+
     # -- mutation ---------------------------------------------------------
 
     def insert(self, values: "Sequence[SqlValue] | Mapping[str, SqlValue]") -> Row:
@@ -67,6 +114,7 @@ class Table:
         ``values`` is either positional (matching schema order) or a mapping
         from column name to value (missing columns default to NULL).
         """
+        self._mutable()
         ordered = self._order_values(values)
         typed = self._validate_types(ordered)
         scope = RowScope.from_pairs(
@@ -93,6 +141,7 @@ class Table:
         return count
 
     def clear(self) -> None:
+        self._mutable()
         self._rows.clear()
         self._next_rowid = 1
         for index in self._key_indexes.values():
@@ -105,6 +154,7 @@ class Table:
         Key-index entries for the removed rows are dropped; remaining
         rowids are untouched (rowids are never reused within a snapshot).
         """
+        self._mutable()
         doomed = [row for row in self._rows if row.rowid in rowids]
         if not doomed:
             return 0
@@ -133,6 +183,7 @@ class Table:
 
     def restore(self, snapshot: "tuple") -> None:
         """Roll back to a :meth:`snapshot`."""
+        self._mutable()
         rows, next_rowid, indexes = snapshot
         self._rows = list(rows)
         self._next_rowid = next_rowid

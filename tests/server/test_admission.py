@@ -1,0 +1,178 @@
+"""Admission control: budget pools, tenant quotas, typed rejection."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.governor import BudgetPool
+from repro.errors import (
+    AdmissionRejected,
+    ResourceError,
+    error_exit_code,
+)
+from repro.server.admission import AdmissionController
+
+
+class TestBudgetPool:
+    def test_slot_exhaustion(self):
+        pool = BudgetPool(max_slots=2)
+        assert pool.try_reserve() is None
+        assert pool.try_reserve() is None
+        assert pool.try_reserve() == "slots"
+        pool.release()
+        assert pool.try_reserve() is None
+
+    def test_byte_exhaustion(self):
+        pool = BudgetPool(max_bytes=100)
+        assert pool.try_reserve(60) is None
+        assert pool.try_reserve(60) == "memory"
+        assert pool.try_reserve(40) is None
+        pool.release(60)
+        assert pool.try_reserve(60) is None
+
+    def test_load_counts_rejections_until_release(self):
+        pool = BudgetPool(max_slots=1)
+        pool.try_reserve()
+        pool.try_reserve()
+        pool.try_reserve()
+        assert pool.load() == 2
+        pool.release()
+        assert pool.load() == 0
+
+    def test_peak_slots(self):
+        pool = BudgetPool(max_slots=8)
+        for __ in range(5):
+            pool.try_reserve()
+        for __ in range(3):
+            pool.release()
+        assert pool.peak_slots == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPool(max_slots=0)
+        with pytest.raises(ValueError):
+            BudgetPool(max_bytes=0)
+
+    def test_thread_safety_never_oversubscribes(self):
+        pool = BudgetPool(max_slots=4)
+        granted = []
+        barrier = threading.Barrier(16)
+
+        def grab():
+            barrier.wait()
+            if pool.try_reserve() is None:
+                granted.append(1)
+
+        threads = [threading.Thread(target=grab) for __ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(granted) == 4
+        assert pool.used_slots == 4
+
+
+class TestAdmissionRejected:
+    def test_is_resource_family_exit_code_5(self):
+        error = AdmissionRejected("server slots budget exhausted")
+        assert isinstance(error, ResourceError)
+        assert error_exit_code(error) == 5
+
+    def test_carries_resource_and_retry_hint(self):
+        error = AdmissionRejected("nope", resource="memory", retry_after=0.25)
+        assert error.resource == "memory"
+        assert error.retry_after == 0.25
+        assert "retry after 0.250s" in str(error)
+
+
+class TestAdmissionController:
+    def test_rejects_when_slots_exhausted(self):
+        controller = AdmissionController(max_slots=1)
+        grant = controller.admit()
+        with pytest.raises(AdmissionRejected) as info:
+            controller.admit()
+        assert info.value.resource == "slots"
+        grant.release()
+        controller.admit().release()
+
+    def test_rejects_when_bytes_exhausted(self):
+        controller = AdmissionController(max_bytes=1000)
+        grant = controller.admit(nbytes=800)
+        with pytest.raises(AdmissionRejected) as info:
+            controller.admit(nbytes=400)
+        assert info.value.resource == "memory"
+        grant.release()
+
+    def test_grant_carries_memory_slice(self):
+        controller = AdmissionController(max_bytes=1 << 20)
+        grant = controller.admit(nbytes=4096)
+        assert grant.memory_limit_bytes == 4096
+        grant.release()
+        assert controller.pool.used_bytes == 0
+
+    def test_zero_byte_grant_means_unlimited_governor(self):
+        controller = AdmissionController(max_slots=2)
+        grant = controller.admit()
+        assert grant.memory_limit_bytes is None
+        grant.release()
+
+    def test_tenant_quota_fences_noisy_tenant(self):
+        controller = AdmissionController(max_slots=10, tenant_slots=2)
+        g1 = controller.admit("noisy")
+        g2 = controller.admit("noisy")
+        with pytest.raises(AdmissionRejected, match="tenant 'noisy'"):
+            controller.admit("noisy")
+        # The other tenant is unaffected; the shared pool has room.
+        g3 = controller.admit("quiet")
+        for grant in (g1, g2, g3):
+            grant.release()
+
+    def test_tenant_rollback_on_server_rejection(self):
+        controller = AdmissionController(max_slots=1, tenant_slots=5)
+        g1 = controller.admit("a")
+        with pytest.raises(AdmissionRejected, match="server"):
+            controller.admit("b")
+        g1.release()
+        # Tenant b's quota was rolled back: it can use all 5 now that the
+        # server pool has room again.
+        grant = controller.admit("b")
+        assert controller._tenants["b"].used_slots == 1
+        grant.release()
+
+    def test_retry_after_scales_with_load(self):
+        controller = AdmissionController(max_slots=1)
+        grant = controller.admit()
+        hints = []
+        for __ in range(3):
+            with pytest.raises(AdmissionRejected) as info:
+                controller.admit()
+            hints.append(info.value.retry_after)
+        assert hints == sorted(hints)
+        assert hints[0] < hints[-1]
+        grant.release()
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_slots=2)
+        grant = controller.admit()
+        grant.release()
+        grant.release()
+        assert controller.pool.used_slots == 0
+
+    def test_grant_is_context_manager(self):
+        controller = AdmissionController(max_slots=1)
+        with controller.admit():
+            pass
+        assert controller.pool.used_slots == 0
+
+    def test_stats(self):
+        controller = AdmissionController(max_slots=1)
+        grant = controller.admit()
+        with pytest.raises(AdmissionRejected):
+            controller.admit()
+        grant.release()
+        stats = controller.stats()
+        assert stats["admitted"] == 1
+        assert stats["rejected"] == 1
+        assert stats["peak_slots"] == 1
