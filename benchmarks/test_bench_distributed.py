@@ -15,10 +15,12 @@ import pytest
 from repro.algebra.ops import AggregateSpec, Join as JoinOp
 from repro.core.query_class import GroupByJoinQuery
 from repro.core.transform import build_eager_plan, build_standard_plan
+from repro.engine.executor import ExecutorConfig, execute
 from repro.expressions.builder import col, eq, sum_
 from repro.fd.derivation import TableBinding
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel, DistributedCostModel, NetworkWeights
+from repro.storage.partition import PartitionSpec
 from repro.workloads.generators import TwoTableSpec, make_two_table
 
 N_A = 5000
@@ -95,6 +97,50 @@ def test_eager_wins_whenever_network_dominates(per_row_cost):
     assert eager_total < standard_total
     # The transfer term alone accounts for ≈ (5000 - 50) × per_row_cost.
     assert saving > 0.8 * per_row_cost * (N_A - 50)
+
+
+@pytest.mark.parametrize("groups", [10, 1000])
+def test_measured_wire_matches_cost_model_ordering(groups):
+    """Not just the abstract model: run both plans through the Exchange
+    operator for real and meter the pickled bytes each one ships.
+
+    The standard plan's only distributable region is the bare ``A`` scan,
+    so the whole partition crosses the wire; the eager plan's below-join
+    group-by runs under the Exchange and ships one partial row per BRef
+    group.  The measured byte ordering must agree with the
+    ``cost_with_transfer`` ordering the planner reasons from, and both
+    sharded runs must still compute the same answer.
+    """
+    shards = 2
+    db = make_two_table(
+        TwoTableSpec(
+            n_a=N_A, n_b=N_B, a_groups=groups, bref_mode="correlated", seed=groups
+        )
+    )
+    db.set_partitioning("A", PartitionSpec("hash", "BRef", shards))
+    q = query()
+    standard_plan = build_standard_plan(q)
+    eager_plan = build_eager_plan(q)
+    standard_shipped, eager_shipped = shipped_subplans(standard_plan, eager_plan)
+    model = DistributedCostModel(
+        CostModel(CardinalityEstimator(db)), NetworkWeights(per_row=100.0)
+    )
+    modeled_saving = model.cost_with_transfer(
+        standard_plan, standard_shipped
+    ) - model.cost_with_transfer(eager_plan, eager_shipped)
+
+    config = ExecutorConfig(shards=shards)
+    standard_result, standard_stats = execute(db, build_standard_plan(q), config)
+    eager_result, eager_stats = execute(db, build_eager_plan(q), config)
+
+    assert eager_result.equals_multiset(standard_result)
+    assert standard_stats.rows_shipped() == N_A
+    # One partial row per BRef group (hash-partitioned on BRef, so no
+    # group straddles shards); BRef takes at most min(groups, |B|) values.
+    assert eager_stats.rows_shipped() <= min(groups, N_B)
+    measured_saving = standard_stats.bytes_shipped() - eager_stats.bytes_shipped()
+    assert measured_saving > 0
+    assert (measured_saving > 0) == (modeled_saving > 0)
 
 
 @pytest.mark.benchmark(group="distributed")

@@ -252,6 +252,72 @@ class Sort(PlanNode):
         return f"Sort[{keys}]"
 
 
+@dataclass(frozen=True)
+class Exchange(PlanNode):
+    """Shard boundary: run the child per partition and merge the streams.
+
+    Not part of the paper's algebra — this is Section 7's distributed
+    argument made executable.  The child subtree executes once per shard
+    against that shard's partition of its base table; the parent sees one
+    merged stream, byte-metered through the spill codec (the "wire").
+
+    ``mode`` prices the wire in the cost model and the stats:
+
+    * ``"gather"``    — every shard ships its rows to the coordinator once.
+    * ``"shuffle"``   — rows are re-partitioned between shards before the
+      merge (metered as two transfers of the shipped rows).
+    * ``"broadcast"`` — every shard's rows go to every other shard
+      (metered as shards × shipped rows).
+
+    All three modes produce the same merged result; they differ only in
+    shipped bytes.  With ``merge=True`` the child's terminal
+    :class:`GroupApply` is treated as a *local partial* aggregation and the
+    Exchange re-aggregates the partials globally (the paper's group-by
+    pushed below the wire); with ``merge=False`` shard outputs are
+    concatenated back into base-scan order.  ``keys`` names the
+    partitioning column (empty = partition the base table by rowid).
+    """
+
+    child: PlanNode
+    mode: str = "gather"
+    shards: int = 2
+    partitioning: str = "hash"
+    keys: Tuple[str, ...] = ()
+    merge: bool = False
+
+    def __init__(
+        self,
+        child: PlanNode,
+        mode: str = "gather",
+        shards: int = 2,
+        partitioning: str = "hash",
+        keys: Sequence[str] = (),
+        merge: bool = False,
+    ) -> None:
+        if mode not in ("gather", "shuffle", "broadcast"):
+            raise ValueError(f"unknown exchange mode {mode!r}")
+        if partitioning not in ("hash", "range"):
+            raise ValueError(f"unknown partitioning method {partitioning!r}")
+        if shards < 1:
+            raise ValueError("an Exchange needs at least one shard")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "shards", shards)
+        object.__setattr__(self, "partitioning", partitioning)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "merge", merge)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        key = f" on {', '.join(self.keys)}" if self.keys else ""
+        merge = " merge" if self.merge else ""
+        return (
+            f"Exchange[{self.mode} {self.partitioning}x{self.shards}{key}{merge}]"
+        )
+
+
 def fuse_group_apply(plan: PlanNode) -> PlanNode:
     """Rewrite every ``Apply(Group(child))`` pair into :class:`GroupApply`.
 
@@ -284,6 +350,15 @@ def _with_children(plan: PlanNode, children: Tuple[PlanNode, ...]) -> PlanNode:
         return GroupApply(children[0], plan.grouping_columns, plan.aggregates)
     if isinstance(plan, Sort):
         return Sort(children[0], plan.columns, plan.descending)
+    if isinstance(plan, Exchange):
+        return Exchange(
+            children[0],
+            plan.mode,
+            plan.shards,
+            plan.partitioning,
+            plan.keys,
+            plan.merge,
+        )
     raise TypeError(f"cannot rebuild {type(plan).__name__}")
 
 

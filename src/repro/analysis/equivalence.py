@@ -32,12 +32,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.algebra.ops import (
     Apply,
+    Exchange,
     Group,
     GroupApply,
     Join,
     PlanNode,
     Product,
     Project,
+    Relation,
     Select,
     Sort,
 )
@@ -77,13 +79,15 @@ def verify_rewrite(database: Database, certificate) -> List[Diagnostic]:
         _check_reorder(database, certificate, sink)
     elif rule == "projection_pruning":
         _check_pruning(database, certificate, sink)
+    elif rule == "shard_exchange":
+        _check_shard_exchange(database, certificate, sink)
     else:
         sink.report(
             "R700",
             path,
             f"unknown rewrite rule {rule!r} in certificate",
             hint="valid rules: predicate_pushdown, join_reordering, "
-            "projection_pruning",
+            "projection_pruning, shard_exchange",
         )
     return sink.diagnostics
 
@@ -691,3 +695,179 @@ def _check_pruning(database: Database, certificate, sink: DiagnosticSink) -> Non
         return True
 
     walk(before, after, "$")
+
+
+# ---------------------------------------------------------------------------
+# shard exchange (R704)
+# ---------------------------------------------------------------------------
+
+
+def exact_decomposition_reason(
+    group: GroupApply, database: Database
+) -> Optional[str]:
+    """Why a two-phase split of ``group`` would NOT be bit-exact, or None.
+
+    Re-derives (from the plan alone) the proof obligations of the
+    partial+merge rewrite: every aggregate must be decomposable, and
+    SUM/AVG — whose merged fold reassociates additions — must run over a
+    column of an exact integer type, so the regrouped sums are the very
+    same values the one-phase fold produces.  MIN/MAX/COUNT need no type
+    guard: they merge by the same comparator / by exact integer addition.
+    """
+    from repro.engine.exchange import decompose_aggregates
+    from repro.expressions.ast import Aggregate
+    from repro.sqltypes.datatypes import IntegerType, SmallIntType
+
+    if decompose_aggregates(group.aggregates) is None:
+        return "aggregates are not decomposable into mergeable partials"
+    try:
+        schema = infer_schema(group.child, database)
+    except Exception as error:
+        return f"cannot infer the group input schema: {error}"
+    for spec in group.aggregates:
+        expression = spec.expression
+        if not isinstance(expression, Aggregate):
+            return f"{spec.name}: not a bare aggregate"
+        if expression.function not in ("SUM", "AVG"):
+            continue
+        argument = expression.argument
+        if not isinstance(argument, ColumnRef):
+            return (
+                f"{spec.name}: {expression.function} over a computed "
+                "expression; partial sums may reassociate inexactly"
+            )
+        try:
+            info = schema.resolve(argument.qualified)
+        except AmbiguousColumn:
+            info = None
+        if info is None:
+            return f"{spec.name}: argument {argument.qualified} does not resolve"
+        if not isinstance(info.datatype, (IntegerType, SmallIntType)):
+            return (
+                f"{spec.name}: {expression.function}({argument.qualified}) is "
+                f"not over an exact integer column ({info.datatype}); "
+                "re-associated partial sums would not be bit-identical"
+            )
+    return None
+
+
+def _scan_chain_base(plan: PlanNode) -> Optional[Relation]:
+    """The single Relation under a Select* chain, or None if not a chain."""
+    cursor = plan
+    while isinstance(cursor, Select):
+        cursor = cursor.child
+    return cursor if isinstance(cursor, Relation) else None
+
+
+def _check_shard_exchange(
+    database: Database, certificate, sink: DiagnosticSink
+) -> None:
+    """R704: shard-union and partial+merge obligations of an Exchange wrap.
+
+    * **shard union** — the subtree below the wire must be a linear
+      Relation/Select* region over exactly one base table.  Partitioning
+      splits that table into disjoint, exhaustive shards, and Select is
+      row-local, so the multiset union of the shard runs equals the
+      unpartitioned run — regardless of hash vs range placement.
+    * **partial + merge** (``merge=True`` only) — the replaced subtree must
+      be a GroupApply over such a region whose aggregates re-derive as
+      exactly decomposable (:func:`exact_decomposition_reason`): merging
+      per-shard partials reproduces the one-phase aggregate bit for bit.
+    * the recorded topology premises (shards/mode/partitioning) must match
+      the Exchange node, and the recorded shipped-row estimate must
+      re-derive from a fresh estimator.
+    """
+    path = certificate.path
+    located = _divergence(certificate.before, certificate.after)
+    if located is None:
+        sink.report("R704", path, "certificate rewrites nothing: plans are equal")
+        return
+    where, site_before, site_after = located
+
+    if not isinstance(site_after, Exchange):
+        sink.report(
+            "R704", where, "rewritten site is not an Exchange operator"
+        )
+        return
+    if site_after.child != site_before:
+        sink.report(
+            "R704",
+            where,
+            "Exchange child differs from the subtree it replaced: the wire "
+            "must wrap the original computation unchanged",
+        )
+        return
+
+    if site_after.merge:
+        if not isinstance(site_before, GroupApply):
+            sink.report(
+                "R704",
+                where,
+                "Exchange(merge) must replace a GroupApply (the one-phase "
+                "aggregate being split)",
+            )
+            return
+        reason = exact_decomposition_reason(site_before, database)
+        if reason is not None:
+            sink.report(
+                "R704",
+                where,
+                f"partial+merge is not exact: {reason}",
+                hint="only decomposable aggregates with integer-typed "
+                "SUM/AVG may be pushed below the wire",
+            )
+            return
+        region = site_before.child
+    else:
+        region = site_before
+    if _scan_chain_base(region) is None:
+        sink.report(
+            "R704",
+            where,
+            "subtree below the wire is not a Relation/Select* chain over "
+            "one base table; the shard union premise does not hold",
+        )
+        return
+
+    for name, expected in (
+        ("shards", str(site_after.shards)),
+        ("mode", site_after.mode),
+        ("partitioning", site_after.partitioning),
+    ):
+        recorded = certificate.premise_values(name)
+        if tuple(recorded) != (expected,):
+            sink.report(
+                "R704",
+                where,
+                f"recorded premise {name}={recorded or '(missing)'} does not "
+                f"match the Exchange node ({expected})",
+            )
+            return
+
+    recorded_rows = certificate.premise_values("estimated-shipped-rows")
+    if len(recorded_rows) != 1:
+        sink.report(
+            "R704", where, "certificate must record one shipped-row estimate"
+        )
+        return
+    try:
+        from repro.optimizer.cardinality import CardinalityEstimator
+        from repro.optimizer.cost import exchange_mode_factor
+
+        estimator = CardinalityEstimator(database)
+        derived = estimator.rows(site_after.child) * exchange_mode_factor(
+            site_after.mode, site_after.shards
+        )
+    except Exception as error:
+        sink.report(
+            "R704", where, f"cannot re-derive the shipped-row estimate: {error}"
+        )
+        return
+    tolerance = 1e-6 * max(1.0, derived)
+    if abs(derived - float(recorded_rows[0])) > tolerance:
+        sink.report(
+            "R704",
+            where,
+            "recorded shipped-row estimate does not re-derive: certificate "
+            f"says {recorded_rows[0]}, checker derives {derived:.6f}",
+        )

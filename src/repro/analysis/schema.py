@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.algebra.ops import (
     AggregateSpec,
     Apply,
+    Exchange,
     Group,
     GroupApply,
     Join,
@@ -209,7 +210,9 @@ def infer_schemas(
                         hint="create the table or fix the Relation leaf",
                     )
                 return PlanSchema(())
-        if isinstance(node, (Select, Sort)):
+        if isinstance(node, (Select, Sort, Exchange)):
+            # Exchange is schema-transparent: the merged stream has exactly
+            # the child's columns (partials are an execution detail).
             return child_schemas[0]
         if isinstance(node, Project):
             resolved: List[ColumnInfo] = []

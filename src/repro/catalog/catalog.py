@@ -34,6 +34,8 @@ class Database:
         self.domains: Dict[str, Domain] = {}
         self.views: Dict[str, object] = {}  # name -> parsed SELECT statement
         self.assertions: Dict[str, Assertion] = {}
+        # name -> PartitionSpec: declared shard layouts (storage/partition.py)
+        self.partitioning: Dict[str, object] = {}
 
     # -- DDL ---------------------------------------------------------------
 
@@ -131,7 +133,19 @@ class Database:
         view.domains = dict(self.domains)
         view.views = dict(self.views)
         view.assertions = dict(self.assertions)
+        view.partitioning = dict(self.partitioning)
         return view
+
+    def set_partitioning(self, table_name: str, spec: object) -> None:
+        """Declare a shard layout for ``table_name`` (see
+        :mod:`repro.storage.partition`).  Purely advisory: it steers the
+        planner's partitioning keys; execution stays correct either way."""
+        if table_name not in self.tables:
+            raise CatalogError(f"no such table: {table_name}")
+        self.partitioning[table_name] = spec
+
+    def partition_spec(self, table_name: str) -> Optional[object]:
+        return self.partitioning.get(table_name)
 
     def fk_neighbors(self, table_name: str) -> "frozenset[str]":
         """``table_name`` plus every table one foreign key away, either

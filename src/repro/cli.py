@@ -32,7 +32,9 @@ Subcommands (no REPL):
   result/stats parity, and write ``BENCH_vector.json``; ``--quick`` is
   the CI smoke mode (small data + the differential-equivalence harness);
   ``--server`` runs the concurrent multi-session workload instead and
-  writes ``BENCH_server.json``.
+  writes ``BENCH_server.json``; ``--distributed`` measures the §7
+  shard-parallel transfer volumes (eager vs ship-all, planner choice,
+  bit-identity audit) and writes ``BENCH_distributed.json``.
 * ``repro serve [--port P] [--max-slots N] [script.sql ...]`` — run the
   multi-session TCP server (snapshot reads, serialized writes, admission
   control; see :mod:`repro.server`).
@@ -69,6 +71,10 @@ Enter SQL terminated by ';'.  Dot-commands:
   .morsels <n|off>     set the vector engine's morsel size (off = materialize)
   .workers <n|auto>    set the worker count for parallel morsel pipelines
                        (auto = one per core, clamped to os.cpu_count())
+  .shards <n|off> [hash|range]
+                       run queries shard-parallel through the Exchange
+                       operator (off = single-site); the optional method
+                       picks the partitioning scheme
   .sessions            list the attached server's open sessions
   .rewrites <spec>     set certified rewrites (all, none, or a comma list of
                        predicate_pushdown, join_reordering, projection_pruning)
@@ -137,6 +143,8 @@ class Shell:
             self._set_morsels(argument)
         elif command == ".workers":
             self._set_workers(argument)
+        elif command == ".shards":
+            self._set_shards(argument)
         elif command == ".sessions":
             self._list_sessions()
         elif command == ".rewrites":
@@ -198,6 +206,32 @@ class Shell:
             self.write(f"workers set to auto ({resolve_workers(0)} on this host)")
         else:
             self.write(f"workers set to {count}")
+
+    def _set_shards(self, spec: str) -> None:
+        from dataclasses import replace
+
+        count_text, __, method = spec.partition(" ")
+        method = method.strip()
+        try:
+            count = 1 if count_text in ("off", "none") else int(count_text)
+            if count < 1:
+                raise ValueError("shard count must be a positive integer or 'off'")
+            overrides = {"shards": count}
+            if method:
+                overrides["partitioning"] = method
+            self.session.executor_config = replace(
+                self.session.executor_config, **overrides
+            )
+        except ValueError as error:
+            self.write(f"error: bad shards {spec!r}: {error}")
+            return
+        if count == 1:
+            self.write("shards off (single-site execution)")
+        else:
+            config = self.session.executor_config
+            self.write(
+                f"shards set to {count} ({config.partitioning} partitioning)"
+            )
 
     def _list_sessions(self) -> None:
         if self.server is None:

@@ -1,0 +1,468 @@
+"""The Exchange runner: shard-parallel execution with a byte-metered wire.
+
+This is Section 7 of the paper made executable.  An
+:class:`~repro.algebra.ops.Exchange` node splits its child's base table
+into partitions (:mod:`repro.storage.partition`), runs the child subtree
+once per shard (re-entering the public executor, so shards keep the
+configured engine — vector shards stream through the morsel driver), and
+merges the shard streams back into one deterministic result:
+
+* ``merge=False`` — the shard outputs are interleaved back into base-scan
+  order using the hidden per-relation RowID (shards always execute with
+  ``expose_rowids=True``; the extra column is stripped again unless the
+  outer config asked for it).  The merged stream is bit-identical to the
+  unsharded child's output.
+* ``merge=True`` — the child's terminal :class:`GroupApply` is decomposed
+  into per-shard *partial* aggregates plus a hidden ``MIN(RowID)`` ordinal,
+  and the partials are re-aggregated globally above the wire.  The merge
+  contract matches :mod:`repro.engine.vector.parallel`'s order-independent
+  one (integer COUNT/SUM/AVG exact, MIN/MAX by the engine's comparator).
+  The global merge runs through the requesting engine's *own* grouped
+  aggregation over the ordinal-ordered partial union, so the merged
+  stream is bit-identical to the unsharded GroupApply on that engine —
+  group order included.
+
+The wire is deterministic and measured, not estimated: every shard
+delivery is serialized through the spill codec (pickle, highest protocol)
+and the byte length of the actual blob is what the governor's transfer
+meter and :class:`~repro.engine.stats.ExchangeStats` record, multiplied by
+the mode's fan-out (gather x1, shuffle x2, broadcast x shards).  Each
+delivery passes an ``"exchange"`` fault-injection point; an injected
+kernel fault (or a shard crashing mid-run) degrades the whole Exchange to
+single-site execution of the original child, accounted in
+``stats.degradations`` — the same ladder the vector kernels use.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.ops import (
+    AggregateSpec,
+    Exchange,
+    GroupApply,
+    PlanNode,
+    Relation,
+    Select,
+)
+from repro.catalog.catalog import Database
+from repro.engine import faults
+from repro.engine.dataset import DataSet
+from repro.engine.faults import KernelFault
+from repro.engine.governor import ResourceGovernor
+from repro.engine.stats import ExchangeStats, ExecutionStats, NodeStats
+from repro.errors import ExecutionError
+from repro.expressions.ast import Aggregate, ColumnRef
+from repro.sqltypes.values import NULL, SqlValue, is_null, sort_key, sql_div
+from repro.storage.partition import PartitionSpec, partition_table
+
+#: Hidden partial column carrying each group's first-appearance RowID.
+ORDINAL_COLUMN = "__ord"
+
+
+def exchange_fanout(mode: str, shards: int) -> int:
+    """How many times one shipped row crosses the wire under ``mode``."""
+    if mode == "broadcast":
+        return max(1, shards)
+    return 2 if mode == "shuffle" else 1
+
+
+# -- aggregate decomposition -------------------------------------------------
+
+
+class DecomposedSpec:
+    """One original aggregate and the partial column(s) it merges from."""
+
+    __slots__ = ("name", "function", "partial_names")
+
+    def __init__(self, name: str, function: str, partial_names: Tuple[str, ...]):
+        self.name = name
+        self.function = function
+        self.partial_names = partial_names
+
+
+def decompose_aggregates(
+    specs: Sequence[AggregateSpec],
+) -> "Optional[Tuple[List[AggregateSpec], List[DecomposedSpec]]]":
+    """Split ``specs`` into shard-local partials plus a global merge recipe.
+
+    Returns ``None`` when any spec is not decomposable: only *bare*,
+    non-DISTINCT aggregates qualify (COUNT/SUM/MIN/MAX partials merge by
+    sum/sum/min/max; AVG becomes a hidden SUM + COUNT pair finalized
+    exactly like :func:`repro.engine.aggregation.compute_aggregate`).
+    DISTINCT and arithmetic-over-aggregate specs are rejected — their
+    partials don't merge — and the planner falls back to ship-all.
+    """
+    partials: List[AggregateSpec] = []
+    merged: List[DecomposedSpec] = []
+    for i, spec in enumerate(specs):
+        expression = spec.expression
+        if not isinstance(expression, Aggregate) or expression.distinct:
+            return None
+        function = expression.function
+        if function in ("COUNT", "SUM", "MIN", "MAX"):
+            partial_name = f"__p{i}"
+            partials.append(AggregateSpec(partial_name, expression))
+            merged.append(DecomposedSpec(spec.name, function, (partial_name,)))
+        elif function == "AVG":
+            sum_name, count_name = f"__p{i}s", f"__p{i}c"
+            partials.append(
+                AggregateSpec(sum_name, Aggregate("SUM", expression.argument))
+            )
+            partials.append(
+                AggregateSpec(count_name, Aggregate("COUNT", expression.argument))
+            )
+            merged.append(
+                DecomposedSpec(spec.name, "AVG", (sum_name, count_name))
+            )
+        else:
+            return None
+    return partials, merged
+
+
+# -- plan plumbing -----------------------------------------------------------
+
+
+def _scan_chain_relation(plan: PlanNode) -> Relation:
+    """The single Relation at the bottom of a Select* chain.
+
+    The Exchange contract (DESIGN.md section 14) requires the subtree below
+    the wire to be linear in exactly one partitioned base table; a
+    Relation + Select* chain guarantees that *and* that RowID order
+    survives to the shard output, which is what the ordinal merge needs.
+    """
+    cursor = plan
+    while isinstance(cursor, Select):
+        cursor = cursor.child
+    if not isinstance(cursor, Relation):
+        raise ExecutionError(
+            "Exchange expects a Relation/Select* chain below the wire, "
+            f"found {type(cursor).__name__}"
+        )
+    return cursor
+
+
+def _resolve_partition_spec(
+    node: Exchange, relation: Relation, database: Database
+) -> PartitionSpec:
+    """The concrete partitioning for this Exchange: explicit keys win, then
+    a spec declared in the catalog, then RowID partitioning."""
+    declared = database.partitioning.get(relation.table_name)
+    column: Optional[str] = None
+    bounds: Tuple = ()
+    if node.keys:
+        key = node.keys[0]
+        prefix, _, bare = key.rpartition(".")
+        if prefix and prefix != relation.correlation:
+            raise ExecutionError(
+                f"Exchange key {key!r} does not name the partitioned "
+                f"relation {relation.correlation!r}"
+            )
+        column = bare
+        if (
+            isinstance(declared, PartitionSpec)
+            and declared.column == column
+            and declared.method == node.partitioning
+        ):
+            bounds = declared.bounds
+    elif isinstance(declared, PartitionSpec):
+        column = declared.column
+        if declared.method == node.partitioning:
+            bounds = declared.bounds
+    return PartitionSpec(node.partitioning, column, node.shards, bounds)
+
+
+def _merge_substats(
+    stats: ExecutionStats, governor: ResourceGovernor, sub: ExecutionStats
+) -> None:
+    """Fold one shard run's resilience counters into the outer execution."""
+    stats.degradations += sub.degradations
+    stats.degradation_events.extend(sub.degradation_events)
+    stats.exchanges.extend(sub.exchanges)
+    governor.spill_count += sub.spill_count
+    governor.spilled_rows += sub.spilled_rows
+    if stats.pipelines is not None and sub.pipelines is not None:
+        stats.pipelines.segments += sub.pipelines.segments
+        stats.pipelines.morsels += sub.pipelines.morsels
+        stats.pipelines.note_inflight(sub.pipelines.max_inflight_bytes)
+
+
+# -- the runner --------------------------------------------------------------
+
+
+def run_exchange(
+    database: Database,
+    config,
+    params: Optional[Mapping[str, SqlValue]],
+    node: Exchange,
+    stats: ExecutionStats,
+    governor: ResourceGovernor,
+) -> DataSet:
+    """Execute one Exchange: partition, run shards, meter the wire, merge.
+
+    Engine-agnostic by construction — both executors delegate here, shard
+    subplans re-enter the public executor under the outer config (same
+    engine, morsels, workers), and the recorded :class:`NodeStats` is
+    deterministic, so row and vector stats stay identical.
+    """
+    label = node.label()
+    try:
+        return _run_sharded(database, config, params, node, stats, governor, label)
+    except KernelFault as error:
+        if not config.degrade:
+            raise
+        # A shard died mid-exchange: degrade to single-site execution of
+        # the original child at the coordinator (no wire, exact semantics).
+        stats.note_degradation(label, error)
+        governor.check(label)
+        fallback_config = replace(
+            config, shards=1, exchange="off", rewrites=(), verify=False
+        )
+        from repro.engine.executor import Executor
+
+        result, sub_stats = Executor(database, fallback_config, params).run(
+            node.child
+        )
+        _merge_substats(stats, governor, sub_stats)
+        stats.record(
+            id(node),
+            NodeStats(label, "exchange", (result.cardinality,), result.cardinality, 0),
+        )
+        return result
+
+
+def _run_sharded(
+    database: Database,
+    config,
+    params: Optional[Mapping[str, SqlValue]],
+    node: Exchange,
+    stats: ExecutionStats,
+    governor: ResourceGovernor,
+    label: str,
+) -> DataSet:
+    from repro.engine.executor import Executor, rowid_column
+
+    if node.merge:
+        child = node.child
+        if not isinstance(child, GroupApply):
+            raise ExecutionError(
+                "Exchange(merge=True) requires a GroupApply child"
+            )
+        decomposition = decompose_aggregates(child.aggregates)
+        if decomposition is None:
+            raise ExecutionError(
+                "Exchange(merge=True) over non-decomposable aggregates; "
+                "use merge=False (ship-all) instead"
+            )
+        partial_specs, merged_specs = decomposition
+        relation = _scan_chain_relation(child.child)
+        ordinal = AggregateSpec(
+            ORDINAL_COLUMN,
+            Aggregate("MIN", ColumnRef(relation.correlation, "#rowid")),
+        )
+        shard_plan: PlanNode = GroupApply(
+            child.child, child.grouping_columns, tuple(partial_specs) + (ordinal,)
+        )
+    else:
+        relation = _scan_chain_relation(node.child)
+        shard_plan = node.child
+
+    table = database.table(relation.table_name)
+    spec = _resolve_partition_spec(node, relation, database)
+    partitions = partition_table(table, spec)
+    # Shards always expose RowIDs: the ordinal merge needs them.  The
+    # extra column is stripped below unless the outer config asked for it.
+    shard_config = replace(
+        config,
+        shards=1,
+        exchange="off",
+        rewrites=(),
+        verify=False,
+        expose_rowids=True,
+    )
+
+    deliveries: List[List[tuple]] = []
+    columns: Tuple[str, ...] = ()
+    ordering: Tuple[str, ...] = ()
+    received = 0
+    raw_bytes = 0
+    for shard_table in partitions:
+        shard_db = database.snapshot_view()
+        shard_db.tables[relation.table_name] = shard_table
+        result, sub_stats = Executor(shard_db, shard_config, params).run(shard_plan)
+        _merge_substats(stats, governor, sub_stats)
+        # The wire: serialize through the spill codec, meter the actual
+        # bytes, and give the fault injector its per-delivery crash point.
+        faults.injection_point("exchange", label)
+        blob = pickle.dumps(list(result.rows), protocol=pickle.HIGHEST_PROTOCOL)
+        rows = pickle.loads(blob)
+        deliveries.append(rows)
+        columns = tuple(result.columns)
+        ordering = tuple(result.ordering)
+        received += len(rows)
+        raw_bytes += len(blob)
+
+    fanout = exchange_fanout(node.mode, node.shards)
+    rows_shipped = received * fanout
+    bytes_shipped = raw_bytes * fanout
+    governor.charge_transfer(rows_shipped, bytes_shipped, label)
+
+    if node.merge:
+        merged = _merge_two_phase(
+            node.child, columns, deliveries, merged_specs, config, params
+        )
+    else:
+        merged = _merge_ordinal(
+            columns, ordering, deliveries, rowid_column(relation.correlation),
+            config.expose_rowids,
+        )
+    stats.exchanges.append(
+        ExchangeStats(label, node.mode, node.shards, rows_shipped, bytes_shipped)
+    )
+    stats.record(
+        id(node),
+        NodeStats(label, "exchange", (received,), merged.cardinality, rows_shipped),
+    )
+    return merged
+
+
+def _merge_ordinal(
+    columns: Tuple[str, ...],
+    ordering: Tuple[str, ...],
+    deliveries: List[List[tuple]],
+    ordinal_column: str,
+    keep_rowids: bool,
+) -> DataSet:
+    """Interleave shard streams back into base-scan (RowID) order."""
+    try:
+        ordinal_index = columns.index(ordinal_column)
+    except ValueError:
+        raise ExecutionError(
+            f"shard output lost the ordinal column {ordinal_column!r}"
+        ) from None
+    rows = [row for delivery in deliveries for row in delivery]
+    rows.sort(key=lambda row: row[ordinal_index])
+    if keep_rowids:
+        return DataSet(columns, rows, ordering=ordering)
+    kept = [i for i in range(len(columns)) if i != ordinal_index]
+    out_columns = tuple(columns[i] for i in kept)
+    out_rows = [tuple(row[i] for i in kept) for row in rows]
+    out_ordering = tuple(name for name in ordering if name != ordinal_column)
+    return DataSet(out_columns, out_rows, ordering=out_ordering)
+
+
+def _merge_two_phase(
+    original: GroupApply,
+    columns: Tuple[str, ...],
+    deliveries: List[List[tuple]],
+    merged_specs: List[DecomposedSpec],
+    config,
+    params: Optional[Mapping[str, SqlValue]],
+) -> DataSet:
+    """Re-aggregate shard partials into the one-phase operator's output.
+
+    The shard streams are interleaved into ordinal order (a partial row's
+    ordinal is its group's minimum RowID within that shard, so the union
+    replays groups in their base-scan first-appearance order) and then fed
+    through the *requesting engine's own* grouped-aggregation operator
+    with the merge aggregates: COUNT and SUM partials merge by SUM, MIN
+    and MAX by themselves, AVG from its hidden SUM + COUNT pair.  Running
+    the real operator rather than a hand-rolled fold is what makes the
+    merged stream bit-identical to the unsharded GroupApply on either
+    engine — whatever group order that engine's kernel emits over the
+    original input, it emits over the ordinal-ordered union too.
+    """
+    index_of: Dict[str, int] = {name: i for i, name in enumerate(columns)}
+    ordinal_index = index_of[ORDINAL_COLUMN]
+    rows = [row for delivery in deliveries for row in delivery]
+    # sort_key, not the raw value: an empty shard's scalar partial carries
+    # a NULL ordinal (MIN over no rows), which collates first.
+    rows.sort(key=lambda row: sort_key((row[ordinal_index],)))
+    union = DataSet(columns, rows)
+
+    merge_specs: List[AggregateSpec] = []
+    avg_pairs: Dict[int, Tuple[str, str]] = {}
+    for position, spec in enumerate(merged_specs):
+        if spec.function == "AVG":
+            sum_name, count_name = f"__m{position}s", f"__m{position}c"
+            merge_specs.append(
+                AggregateSpec(
+                    sum_name,
+                    Aggregate("SUM", ColumnRef("", spec.partial_names[0])),
+                )
+            )
+            merge_specs.append(
+                AggregateSpec(
+                    count_name,
+                    Aggregate("SUM", ColumnRef("", spec.partial_names[1])),
+                )
+            )
+            avg_pairs[position] = (sum_name, count_name)
+        else:
+            merge_function = (
+                "SUM" if spec.function in ("COUNT", "SUM") else spec.function
+            )
+            merge_specs.append(
+                AggregateSpec(
+                    spec.name,
+                    Aggregate(
+                        merge_function, ColumnRef("", spec.partial_names[0])
+                    ),
+                )
+            )
+
+    grouping = original.grouping_columns
+    if config.engine == "vector":
+        from repro.engine.vector import kernels
+        from repro.engine.vector.batch import ColumnBatch
+
+        batch, __ = kernels.grouped_aggregate(
+            ColumnBatch.from_dataset(union),
+            grouping,
+            merge_specs,
+            params,
+            mode=config.aggregation,
+        )
+        merged = batch.to_dataset()
+    else:
+        from repro.engine.aggregation import hash_group, sort_group
+
+        if config.aggregation == "sort":
+            merged, __ = sort_group(union, grouping, merge_specs, params)
+        else:
+            merged, __ = hash_group(union, grouping, merge_specs, params)
+
+    if not avg_pairs:
+        return merged
+
+    # Splice each AVG back together from its merged SUM/COUNT pair,
+    # finalizing exactly as the one-phase operator does (integer totals
+    # use true division, everything else the NULL-propagating sql_div).
+    n_group = len(grouping)
+    merged_index = {name: i for i, name in enumerate(merged.columns)}
+    out_columns = merged.columns[:n_group] + tuple(
+        spec.name for spec in merged_specs
+    )
+    out_rows: List[Tuple[SqlValue, ...]] = []
+    for row in merged.rows:
+        values: List[SqlValue] = list(row[:n_group])
+        for position, spec in enumerate(merged_specs):
+            if spec.function == "AVG":
+                sum_name, count_name = avg_pairs[position]
+                total = row[merged_index[sum_name]]
+                count = row[merged_index[count_name]]
+                if is_null(count) or count == 0:
+                    values.append(NULL)
+                elif isinstance(total, int) and not isinstance(total, bool):
+                    values.append(total / count)
+                else:
+                    values.append(sql_div(total, count))
+            else:
+                values.append(row[merged_index[spec.name]])
+        out_rows.append(tuple(values))
+    out_ordering = tuple(
+        name for name in merged.ordering if name in out_columns
+    )
+    return DataSet(out_columns, out_rows, ordering=out_ordering)

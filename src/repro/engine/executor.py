@@ -20,6 +20,7 @@ from typing import Mapping, Optional, Tuple
 
 from repro.algebra.ops import (
     Apply,
+    Exchange,
     Group,
     GroupApply,
     Join,
@@ -30,6 +31,7 @@ from repro.algebra.ops import (
     Select,
     Sort,
     fuse_group_apply,
+    walk_plan,
 )
 from repro.catalog.catalog import Database
 from repro.engine import faults, joins
@@ -108,6 +110,24 @@ class ExecutorConfig:
       ``os.cpu_count()`` (clamped, see
       :func:`repro.engine.vector.parallel.resolve_workers`).  Results are
       bit-identical whatever the count.
+
+    Sharded execution (both engines):
+
+    * ``shards``: number of partitions for shard-parallel execution.
+      ``1`` (the default) disables distribution entirely.  With more, the
+      planner wraps the plan's base-scan side in an
+      :class:`~repro.algebra.ops.Exchange` (see
+      :func:`repro.optimizer.distribute.distribute_plan`) and each shard
+      runs its partition of the pipeline; results are bit-identical to
+      unsharded execution.
+    * ``exchange``: ``"auto"`` (cost-based: the communication-aware model
+      picks partial-aggregation-below-the-wire vs ship-all), ``"off"``
+      (never distribute, even with ``shards > 1``), or a forced mode
+      (``"gather"``, ``"shuffle"``, ``"broadcast"``) — mode only changes
+      the wire accounting, never the result.
+    * ``partitioning``: ``"hash"`` or ``"range"`` shard assignment
+      (:mod:`repro.storage.partition`); either way every row lands in
+      exactly one shard, so this never changes results either.
     """
 
     join_algorithm: str = "auto"
@@ -126,6 +146,9 @@ class ExecutorConfig:
     rewrites: Tuple[str, ...] = ()
     morsel_size: Optional[int] = 32768
     workers: int = 1
+    shards: int = 1
+    exchange: str = "auto"
+    partitioning: str = "hash"
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
@@ -171,6 +194,12 @@ class ExecutorConfig:
             raise ValueError("morsel_size must be positive (or None)")
         if self.workers < 0:
             raise ValueError("workers must be at least 1 (or 0 for auto)")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.exchange not in ("auto", "off", "gather", "shuffle", "broadcast"):
+            raise ValueError(f"bad exchange mode: {self.exchange}")
+        if self.partitioning not in ("hash", "range"):
+            raise ValueError(f"bad partitioning: {self.partitioning}")
 
 
 class Executor:
@@ -185,6 +214,8 @@ class Executor:
         self.database = database
         self.config = config
         self.params = params
+        #: The plan that last ran, after fusing/rewrites/distribution.
+        self.executed_plan: Optional[PlanNode] = None
 
     def run(self, plan: PlanNode) -> Tuple[DataSet, ExecutionStats]:
         """Execute ``plan``; returns the result and per-operator statistics."""
@@ -201,8 +232,16 @@ class Executor:
                     join_algorithm="hash" if algorithm == "auto" else algorithm,
                 )
                 fused = outcome.plan
+        if self.config.shards > 1 and self.config.exchange != "off":
+            if not any(isinstance(n, Exchange) for n in walk_plan(fused)):
+                from repro.optimizer.distribute import distribute_plan
+
+                fused = distribute_plan(fused, self.database, self.config)
         if self.config.verify:
             self._verify(plan, fused)
+        # What actually executed (post-rewrite, post-distribution) — the
+        # session picks this up so explain() shows Exchange wrapping.
+        self.executed_plan = fused
         if self.config.engine == "vector":
             from repro.engine.vector.executor import VectorExecutor
 
@@ -292,6 +331,12 @@ class Executor:
             return self._bare_group(node, stats, governor)
         if isinstance(node, Sort):
             return self._sort(node, stats, governor)
+        if isinstance(node, Exchange):
+            from repro.engine.exchange import run_exchange
+
+            return run_exchange(
+                self.database, self.config, self.params, node, stats, governor
+            )
         if isinstance(node, Apply):
             raise ExecutionError(
                 "Apply without Group beneath it; run fuse_group_apply first"

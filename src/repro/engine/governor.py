@@ -213,6 +213,8 @@ class ResourceGovernor:
         self.rows_emitted = 0
         self.spill_count = 0
         self.spilled_rows = 0
+        self.transfer_rows = 0
+        self.transfer_bytes = 0
         self._ticks = 0
         self._spill_manager: Optional[SpillManager] = None
 
@@ -269,6 +271,19 @@ class ResourceGovernor:
                 f"operator produced {produced} rows, over the max_rows "
                 f"budget of {self.max_rows}{where}"
             )
+
+    # -- network transfer ----------------------------------------------------
+
+    def charge_transfer(self, rows: int, size_bytes: int, label: str = "") -> None:
+        """Meter rows/bytes crossing an Exchange wire.
+
+        Pure accounting (no enforcement): shipped rows were already charged
+        by the operators that produced them, so the wire adds observability
+        — the measured quantity the §7 communication argument is about —
+        without double-billing ``max_rows``.
+        """
+        self.transfer_rows += rows
+        self.transfer_bytes += size_bytes
 
     # -- memory and spilling -------------------------------------------------
 

@@ -36,6 +36,30 @@ class PipelineStats:
 
 
 @dataclass
+class ExchangeStats:
+    """Wire counters for one Exchange operator during one execution.
+
+    ``rows_shipped``/``bytes_shipped`` are *measured* on the serialized
+    stream (the spill codec is the wire format), already multiplied by the
+    mode's fan-out — a broadcast of 10 rows to 4 shards ships 40.  One
+    entry per Exchange node, in execution order, mirroring
+    :attr:`ExecutionStats.pipelines`.
+    """
+
+    label: str
+    mode: str
+    partitions: int
+    rows_shipped: int = 0
+    bytes_shipped: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.mode} x{self.partitions}: {self.rows_shipped} rows, "
+            f"{self.bytes_shipped} bytes shipped ({self.label})"
+        )
+
+
+@dataclass
 class NodeStats:
     """Observed behaviour of one plan operator during one execution."""
 
@@ -71,6 +95,7 @@ class ExecutionStats:
     spill_count: int = 0
     spilled_rows: int = 0
     pipelines: Optional[PipelineStats] = None
+    exchanges: List[ExchangeStats] = field(default_factory=list)
 
     def record(self, node_id: int, stats: NodeStats) -> None:
         self.nodes[node_id] = stats
@@ -102,6 +127,14 @@ class ExecutionStats:
         """Total rows fed to grouping operators (the Figure 8 quantity)."""
         return sum(s.input_cardinalities[0] for s in self.by_kind("groupby"))
 
+    def rows_shipped(self) -> int:
+        """Total rows crossing Exchange wires (mode fan-out included)."""
+        return sum(exchange.rows_shipped for exchange in self.exchanges)
+
+    def bytes_shipped(self) -> int:
+        """Total serialized bytes crossing Exchange wires."""
+        return sum(exchange.bytes_shipped for exchange in self.exchanges)
+
     def cardinality_map(self) -> Dict[int, Tuple[Tuple[int, ...], int]]:
         """The shape :func:`repro.algebra.display.render_annotated` wants."""
         return {
@@ -125,6 +158,8 @@ class ExecutionStats:
                 f"pipelines: {p.segments} segments, {p.morsels} morsels, "
                 f"max in-flight ~{p.max_inflight_bytes} bytes"
             )
+        for exchange in self.exchanges:
+            lines.append(f"exchange: {exchange.describe()}")
         if self.spill_count:
             lines.append(
                 f"spills: {self.spill_count} ({self.spilled_rows} rows to disk)"

@@ -394,6 +394,218 @@ def run_morsel_bench(
     return report
 
 
+#: Group counts the §7 distributed sweep measures: two-phase shipping wins
+#: exactly while groups ≪ rows, so the sweep brackets the crossover.
+DISTRIBUTED_GROUPS: Tuple[int, ...] = (10, 100, 1000)
+
+
+def _section7_query():
+    """The §7 two-table shape: SUM(A.Val) per A.GKey across A ⋈ B."""
+    from repro.core.query_class import GroupByJoinQuery
+    from repro.fd.derivation import TableBinding
+
+    return GroupByJoinQuery(
+        r1=[TableBinding("A", "A")],
+        r2=[TableBinding("B", "B")],
+        where=eq(col("A.BRef"), col("B.BId")),
+        ga1=["A.GKey"],
+        ga2=[],
+        aggregates=[AggregateSpec("s", sum_("A.Val"))],
+    )
+
+
+def run_distributed_bench(
+    quick: bool = False, repeat: int = 2, shards: int = 2
+) -> Dict:
+    """Section 7 measured on the wire: shipped rows/bytes, eager vs ship-all.
+
+    For each group count, table ``A`` (n_a rows, hash-partitioned on the
+    join column) runs through the Exchange operator two ways: the standard
+    plan — whose only distributable region is the bare ``A`` scan, so the
+    whole partition crosses the wire — and the eager plan, where the
+    below-join group-by runs under the Exchange and each shard ships one
+    partial row per group.  The wire meter records the *actual* pickled
+    bytes, not an estimate; the report asserts the paper's claim in
+    measured form (eager ships ≈ groups rows against the standard plan's
+    n_a) and that the communication-aware planner picked the two-phase
+    strategy on its own (the ``shard_exchange`` certificate's recorded
+    strategy).  Every sharded run must be bit-identical to its unsharded
+    counterpart on the same engine.
+    """
+    from repro.core.transform import build_eager_plan, build_standard_plan
+    from repro.engine.executor import Executor
+    from repro.optimizer.cardinality import CardinalityEstimator
+    from repro.optimizer.cost import CostModel, NetworkWeights
+    from repro.optimizer.distribute import distribution_certificate
+    from repro.storage.partition import PartitionSpec
+
+    n_a = 1000 if quick else 5000
+    n_b = 50
+    report: Dict = {
+        "benchmark": "shard-parallel distributed exchange",
+        "quick": quick,
+        "repeat": repeat,
+        "shards": shards,
+        "n_a": n_a,
+        "n_b": n_b,
+        "sweep": [],
+    }
+
+    def timed(db, plan_factory, config):
+        best = float("inf")
+        result = stats = executed = None
+        for __ in range(repeat):
+            executor = Executor(db, config, None)
+            plan = plan_factory()
+            start = time.perf_counter()
+            result, stats = executor.run(plan)
+            best = min(best, time.perf_counter() - start)
+            executed = executor.executed_plan
+        return best, result, stats, executed
+
+    def certificate_of(executed_plan) -> Dict[str, str]:
+        certificate = distribution_certificate(executed_plan)
+        if certificate is None:
+            return {}
+        return dict(certificate.premises)
+
+    for groups in DISTRIBUTED_GROUPS:
+        db = make_two_table(
+            TwoTableSpec(
+                n_a=n_a, n_b=n_b, a_groups=groups,
+                bref_mode="correlated", seed=groups,
+            )
+        )
+        db.set_partitioning("A", PartitionSpec("hash", "BRef", shards))
+        query = _section7_query()
+
+        def standard_factory(q=query):
+            return build_standard_plan(q)
+
+        def eager_factory(q=query):
+            return build_eager_plan(q)
+
+        sharded = ExecutorConfig(shards=shards)
+        single = ExecutorConfig()
+
+        std_s, std_result, std_stats, std_plan = timed(
+            db, standard_factory, replace(sharded, engine="row")
+        )
+        eager_s, eager_result, eager_stats, eager_plan = timed(
+            db, eager_factory, replace(sharded, engine="row")
+        )
+        vec_s, vec_result, vec_stats, __ = timed(
+            db, eager_factory, replace(sharded, engine="vector")
+        )
+        __, base_std, *___ = timed(
+            db, standard_factory, replace(single, engine="row")
+        )
+        __, base_eager_row, *___ = timed(
+            db, eager_factory, replace(single, engine="row")
+        )
+        __, base_eager_vec, *___ = timed(
+            db, eager_factory, replace(single, engine="vector")
+        )
+
+        model = CostModel(CardinalityEstimator(db), network=NetworkWeights())
+        standard_cost = model.cost(std_plan).total
+        eager_cost = model.cost(eager_plan).total
+        std_cert = certificate_of(std_plan)
+        eager_cert = certificate_of(eager_plan)
+        std_estimate = float(std_cert.get("estimated-shipped-rows", "nan"))
+        eager_estimate = float(eager_cert.get("estimated-shipped-rows", "nan"))
+
+        results_match = (
+            std_result.rows == base_std.rows
+            and eager_result.rows == base_eager_row.rows
+            and vec_result.rows == base_eager_vec.rows
+            and eager_result.equals_multiset(std_result)
+        )
+        entry = {
+            "groups": groups,
+            "standard": {
+                "wall_s": round(std_s, 6),
+                "strategy": std_cert.get("strategy"),
+                "rows_shipped": std_stats.rows_shipped(),
+                "bytes_shipped": std_stats.bytes_shipped(),
+                "estimated_rows": std_estimate,
+            },
+            "eager": {
+                "wall_s": round(eager_s, 6),
+                "wall_s_vector": round(vec_s, 6),
+                "strategy": eager_cert.get("strategy"),
+                "rows_shipped": eager_stats.rows_shipped(),
+                "bytes_shipped": eager_stats.bytes_shipped(),
+                "estimated_rows": eager_estimate,
+            },
+            "model_cost": {
+                "standard": round(standard_cost, 1),
+                "eager": round(eager_cost, 1),
+            },
+            "ships_one_row_per_group": (
+                eager_stats.rows_shipped() <= groups + shards
+            ),
+            "transfer_saving": (
+                round(
+                    std_stats.bytes_shipped()
+                    / max(1, eager_stats.bytes_shipped()),
+                    2,
+                )
+            ),
+            "results_match": results_match,
+        }
+        report["sweep"].append(entry)
+
+    report["planner_two_phase"] = all(
+        entry["eager"]["strategy"] == "two-phase" for entry in report["sweep"]
+    )
+    # Transfer against transfer: the model must never order the strategies
+    # *against* the wire.  Ties are allowed — the product-NDV estimator
+    # caps the (GKey, BRef) group count at |A| because it cannot see the
+    # functional dependency GKey → BRef, so at high group counts both
+    # strategies estimate |A| shipped rows while the wire still favours
+    # the eager plan.
+    report["bytes_follow_model"] = all(
+        entry["eager"]["estimated_rows"] <= entry["standard"]["estimated_rows"]
+        for entry in report["sweep"]
+        if entry["eager"]["bytes_shipped"] < entry["standard"]["bytes_shipped"]
+    )
+    report["all_equal"] = all(
+        entry["results_match"] for entry in report["sweep"]
+    )
+    return report
+
+
+def render_distributed_report(report: Dict) -> str:
+    lines = [
+        f"distributed sweep: |A|={report['n_a']}, {report['shards']} shards, "
+        "hash-partitioned on the join column",
+        f"{'groups':>7} {'ship-all rows':>14} {'eager rows':>11} "
+        f"{'ship-all B':>11} {'eager B':>9} {'saving':>7}  strategy",
+    ]
+    for entry in report["sweep"]:
+        lines.append(
+            f"{entry['groups']:>7} {entry['standard']['rows_shipped']:>14} "
+            f"{entry['eager']['rows_shipped']:>11} "
+            f"{entry['standard']['bytes_shipped']:>11} "
+            f"{entry['eager']['bytes_shipped']:>9} "
+            f"{entry['transfer_saving']:>6.1f}x  {entry['eager']['strategy']}"
+        )
+    lines.append(
+        "planner picked two-phase: "
+        + ("yes" if report["planner_two_phase"] else "NO")
+    )
+    lines.append(
+        "measured bytes follow the model: "
+        + ("yes" if report["bytes_follow_model"] else "NO")
+    )
+    lines.append(
+        "sharded == unsharded (both engines): "
+        + ("yes" if report["all_equal"] else "NO")
+    )
+    return "\n".join(lines)
+
+
 def render_morsel_report(report: Dict) -> str:
     lines = [
         f"morsel sweep: star schema, {report['rows']} rows, "
@@ -481,6 +693,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sizes) and write BENCH_morsel.json instead of the backend bench",
     )
     parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run the §7 distributed sweep (measured shipped rows/bytes, "
+        "eager vs ship-all) and write BENCH_distributed.json instead of "
+        "the backend bench",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for --distributed",
+    )
+    parser.add_argument(
         "--server",
         action="store_true",
         help="run the concurrent multi-session server workload and write "
@@ -519,6 +744,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             handle.write("\n")
         print(f"wrote {out_path}")
         return 0 if report["replay_consistent"] else 1
+
+    if options.distributed:
+        report = run_distributed_bench(
+            quick=options.quick,
+            repeat=options.repeat,
+            shards=options.shards,
+        )
+        print(render_distributed_report(report))
+        out_path = options.out or "BENCH_distributed.json"
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {out_path}")
+        ok = (
+            report["all_equal"]
+            and report["planner_two_phase"]
+            and report["bytes_follow_model"]
+        )
+        return 0 if ok else 1
 
     if options.morsels:
         sweep = run_morsel_bench(

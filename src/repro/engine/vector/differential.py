@@ -485,6 +485,100 @@ def run_morsel_matrix(
     return sweeps
 
 
+#: Shard configurations the full matrix replays under: both partitioning
+#: methods at 2 and 4 shards, plus the shards=1 identity row.  Every entry
+#: must be invisible — sharded execution through the Exchange wire is
+#: required to be *bit-identical* (rows, order, columns) to the unsharded
+#: baseline on both engines.
+SHARD_MATRIX: Tuple[dict, ...] = (
+    {"shards": 1},
+    {"shards": 2, "partitioning": "hash"},
+    {"shards": 2, "partitioning": "range"},
+    {"shards": 4, "partitioning": "hash"},
+    {"shards": 4, "partitioning": "range"},
+)
+
+
+def shard_config_label(overrides: dict) -> str:
+    shards = overrides.get("shards", 1)
+    if shards == 1:
+        return "shards=1"
+    return f"shards={shards}+{overrides.get('partitioning', 'hash')}"
+
+
+def run_shard_matrix(quick: bool = True) -> List[Tuple[str, List[CaseResult]]]:
+    """The full differential under every :data:`SHARD_MATRIX` entry.
+
+    For each (case, configuration) each engine's own unsharded run is its
+    baseline; that engine's sharded run must reproduce it **bit for bit**
+    — columns, rows in order, ordering claim — because shard-parallel
+    execution may change where work happens, never what comes out.
+    Across engines the usual differential contract holds (same multiset):
+    physical row order under hash aggregation legitimately differs
+    between backends, sharded or not.
+    """
+    sweeps: List[Tuple[str, List[CaseResult]]] = []
+    for overrides in SHARD_MATRIX:
+        results: List[CaseResult] = []
+
+        def compare(name: str, config: ExecutorConfig, run) -> None:
+            # Bit-identity is a same-engine promise: sharding must not
+            # change what an engine emits, row for row.  Across engines the
+            # usual differential contract applies (same multiset, same
+            # ordering claim) — physical row order under hash aggregation
+            # legitimately differs between backends.
+            base_row, __ = run(replace(config, engine="row"))
+            base_vec, __ = run(replace(config, engine="vector"))
+            row_result, row_stats = run(
+                replace(config, engine="row", **overrides)
+            )
+            vec_result, vec_stats = run(
+                replace(config, engine="vector", **overrides)
+            )
+            identical = (
+                row_result.columns == base_row.columns
+                and vec_result.columns == base_vec.columns
+                and row_result.rows == base_row.rows
+                and vec_result.rows == base_vec.rows
+                and row_result.ordering == base_row.ordering
+                and vec_result.ordering == base_vec.ordering
+                and vec_result.equals_multiset(base_row)
+            )
+            results.append(
+                CaseResult(
+                    name,
+                    _config_label(config) + "+" + shard_config_label(overrides),
+                    identical,
+                    stats_signature(row_stats) == stats_signature(vec_stats),
+                    base_row.cardinality,
+                    row_stats.spill_count,
+                    vec_stats.spill_count,
+                )
+            )
+
+        for sql_case in SQL_CASES:
+            db = sql_case.build(quick)
+
+            def run_sql(config: ExecutorConfig, db=db, sql=sql_case.sql):
+                report = Session(db, executor_config=config).report(sql)
+                return report.result, report.stats
+
+            for config in SQL_CONFIGS:
+                compare(sql_case.name, config, run_sql)
+
+        for plan_case in PLAN_CASES:
+            db = plan_case.build(quick)
+
+            def run_plan(config: ExecutorConfig, db=db, plan=plan_case.plan):
+                return execute(db, plan(), config)
+
+            for config in PLAN_CONFIGS:
+                compare(plan_case.name, config, run_plan)
+
+        sweeps.append((shard_config_label(overrides), results))
+    return sweeps
+
+
 def run_rewrite_differential(
     quick: bool = True,
     rewrite_sets: Optional[Sequence[Tuple[str, ...]]] = None,
@@ -647,15 +741,27 @@ def _check_fault(
             "planted fault never triggered",
         )
     # The execution completed despite the fault: only legal for a degraded
-    # vector kernel, and only if the fallback reproduced the unfaulted run.
-    ok = (
-        engine == "vector"
-        and kind == "kernel"
-        and stats.degradations >= 1
-        and result.equals_multiset(baseline)
-        and result.ordering == baseline.ordering
-        and stats_signature(stats) == base_signature
-    )
+    # vector kernel (or a shard lost mid-exchange, which degrades the
+    # Exchange to single-site execution), and only if the fallback
+    # reproduced the unfaulted run.  The exchange case relaxes the stats
+    # comparison — degrading away the wire legitimately changes which
+    # operators execute — but never the result.
+    if engine == "exchange":
+        ok = (
+            kind == "kernel"
+            and stats.degradations >= 1
+            and result.equals_multiset(baseline)
+            and result.ordering == baseline.ordering
+        )
+    else:
+        ok = (
+            engine == "vector"
+            and kind == "kernel"
+            and stats.degradations >= 1
+            and result.equals_multiset(baseline)
+            and result.ordering == baseline.ordering
+            and stats_signature(stats) == base_signature
+        )
     return FaultOutcome(
         case_name, engine, label, kind,
         "degraded" if ok else "silent-divergence", ok,
@@ -667,6 +773,7 @@ def run_fault_matrix(
     quick: bool = True,
     kinds: Sequence[str] = ("kernel",),
     overrides: Optional[dict] = None,
+    engines: Sequence[str] = ("row", "vector"),
 ) -> List[FaultOutcome]:
     """Inject each fault kind at every operator of every case, both engines.
 
@@ -681,6 +788,13 @@ def run_fault_matrix(
     run — e.g. ``{"morsel_size": 7, "workers": 2}`` replays the matrix
     with streaming morsel pipelines, asserting faults still degrade (or
     surface typed) identically when operators run fused and parallel.
+
+    ``engines`` may include the pseudo-engine ``"exchange"`` (meaningful
+    only with sharded ``overrides``): its injection point fires per shard
+    delivery inside Exchange operators, and a kernel fault there must
+    degrade the whole Exchange to single-site execution with the result
+    unchanged.  Exchange injections only target Exchange operator labels;
+    the execution itself runs on the row engine.
     """
     outcomes: List[FaultOutcome] = []
     extra = overrides or {}
@@ -693,11 +807,19 @@ def run_fault_matrix(
             occurrence = seen.get(label, 0)
             seen[label] = occurrence + 1
             for kind in kinds:
-                for engine in ("row", "vector"):
+                for engine in engines:
+                    if engine == "exchange" and "Exchange[" not in label:
+                        continue
+                    if engine == "vector" and "Exchange[" in label:
+                        # The Exchange runner is engine-agnostic and has no
+                        # vector kernel; its faults belong to the "exchange"
+                        # pseudo-engine above.
+                        continue
+                    run_engine = "row" if engine == "exchange" else engine
                     outcomes.append(
                         _check_fault(
                             case_name, engine, label, occurrence, kind,
-                            lambda engine=engine: run(engine),
+                            lambda engine=run_engine: run(engine),
                             baseline, base_signature,
                         )
                     )

@@ -29,6 +29,7 @@ from typing import Callable, Mapping, Optional, Tuple
 
 from repro.algebra.ops import (
     Apply,
+    Exchange,
     Group,
     GroupApply,
     Join,
@@ -166,6 +167,8 @@ class VectorExecutor:
             return self._bare_group(node, stats, governor)
         if isinstance(node, Sort):
             return self._sort(node, stats, governor)
+        if isinstance(node, Exchange):
+            return self._exchange(node, stats, governor)
         if isinstance(node, Apply):
             raise ExecutionError(
                 "Apply without Group beneath it; run fuse_group_apply first"
@@ -495,6 +498,21 @@ class VectorExecutor:
             ),
         )
         return batch
+
+    def _exchange(
+        self, node: Exchange, stats: ExecutionStats, governor: ResourceGovernor
+    ) -> ColumnBatch:
+        # The Exchange runner is engine-agnostic (it re-enters the public
+        # execute() per shard with this config, so shard subplans still run
+        # on the vector engine, morsel driver and all); the merged stream
+        # comes back as rows and re-enters the batch world here.
+        from repro.engine.exchange import run_exchange
+
+        governor.tick(node.label())
+        dataset = run_exchange(
+            self.database, self.config, self.params, node, stats, governor
+        )
+        return ColumnBatch.from_dataset(dataset)
 
     def _sort(
         self, node: Sort, stats: ExecutionStats, governor: ResourceGovernor

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.algebra.ops import (
     Apply,
+    Exchange,
     Group,
     GroupApply,
     Join,
@@ -29,6 +30,7 @@ from repro.algebra.ops import (
     Project,
     Relation,
     Select,
+    Sort,
 )
 from repro.catalog.catalog import Database
 from repro.expressions.analysis import classify_atomic, Type1Condition, Type2Condition
@@ -156,7 +158,12 @@ class CardinalityEstimator:
                     plan.child.child, plan.child.grouping_columns, len(plan.aggregates)
                 )
             return self.estimate(plan.child)
-        if isinstance(plan, Group):
+        if isinstance(plan, (Group, Sort)):
+            return self.estimate(plan.child)
+        if isinstance(plan, Exchange):
+            # The merged stream has the child's cardinality: merge=False
+            # concatenates shard outputs, merge=True re-aggregates partials
+            # back to one row per global group.
             return self.estimate(plan.child)
         raise TypeError(f"cannot estimate {type(plan).__name__}")
 

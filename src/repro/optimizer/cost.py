@@ -23,6 +23,7 @@ from typing import Dict, Tuple
 
 from repro.algebra.ops import (
     Apply,
+    Exchange,
     Group,
     GroupApply,
     Join,
@@ -31,6 +32,7 @@ from repro.algebra.ops import (
     Project,
     Relation,
     Select,
+    Sort,
 )
 from repro.optimizer.cardinality import CardinalityEstimator, EstimateContext
 
@@ -65,8 +67,38 @@ class PlanCost:
     rows_out: float
 
 
+@dataclass(frozen=True)
+class NetworkWeights:
+    """Two-site communication charges (per row shipped)."""
+
+    per_row: float = 50.0  # a shipped row costs this many CPU-units
+    per_query_setup: float = 100.0
+
+
+#: How each Exchange mode multiplies the shipped-row charge: gather ships
+#: every row once, shuffle re-partitions (two hops), broadcast fans every
+#: row out to all shards.
+EXCHANGE_MODE_FACTORS: Dict[str, float] = {"gather": 1.0, "shuffle": 2.0}
+
+
+def exchange_mode_factor(mode: str, shards: int) -> float:
+    if mode == "broadcast":
+        return float(max(1, shards))
+    return EXCHANGE_MODE_FACTORS[mode]
+
+
 class CostModel:
-    """Estimates the CPU cost of a logical plan."""
+    """Estimates the CPU cost of a logical plan.
+
+    Plans containing :class:`~repro.algebra.ops.Exchange` nodes are priced
+    with the §7 communication term folded in: the subtree below an
+    Exchange runs shard-parallel (its CPU cost divides by the shard
+    count), and every row the child produces is charged ``network.per_row``
+    times the mode factor on its way through the wire.  This is what makes
+    the planner push partial aggregation below the Exchange exactly when
+    groups ≪ rows — the same comparison
+    :class:`DistributedCostModel.cost_with_transfer` makes abstractly.
+    """
 
     def __init__(
         self,
@@ -75,6 +107,7 @@ class CostModel:
         join_algorithm: str = "hash",
         engine: str = "row",
         workers: int = 1,
+        network: "NetworkWeights | None" = None,
     ) -> None:
         if join_algorithm not in ("hash", "nested_loop", "sort_merge"):
             raise ValueError(f"bad join_algorithm: {join_algorithm}")
@@ -87,6 +120,7 @@ class CostModel:
         self.join_algorithm = join_algorithm
         self.engine = engine
         self.workers = workers
+        self.network = network if network is not None else NetworkWeights()
         # Like the engine factor, the per-core speedup divides every
         # candidate's cost uniformly (morsel parallelism applies to whole
         # pipelines, not select operators), so plan choices never flip.
@@ -152,14 +186,47 @@ class CostModel:
             by_node[id(plan)] = node_cost
             return child_cost + node_cost, context
 
-        if isinstance(plan, Group):
+        if isinstance(plan, (Group, Sort)):
             child_cost, child = self._cost(plan.child, by_node)
             context = self.estimator.estimate(plan)
             node_cost = _nlogn(child.rows) * w.comparison
             by_node[id(plan)] = node_cost
             return child_cost + node_cost, context
 
+        if isinstance(plan, Exchange):
+            child_cost, child = self._cost(plan.child, by_node)
+            # The child's estimate is the shipped stream (for merge=True the
+            # terminal GroupApply already shrank it to one row per group).
+            shipped = child.rows
+            factor = exchange_mode_factor(plan.mode, plan.shards)
+            merge_weight = (
+                self.weights.hash_build if plan.merge else self.weights.tuple_cpu
+            )
+            node_cost = (
+                self.network.per_query_setup
+                + shipped * self.network.per_row * factor
+                + shipped * merge_weight  # coordinator-side merge pass
+            )
+            by_node[id(plan)] = node_cost
+            # The subtree below the wire runs once per shard in parallel,
+            # so its CPU cost divides by the shard count.  (The per-node
+            # breakdown keeps the undivided child entries: it explains the
+            # work, the total explains the wall clock.)
+            return child_cost / max(1, plan.shards) + node_cost, child
+
         raise TypeError(f"cannot cost {type(plan).__name__}")
+
+    def estimated_transfer_rows(self, plan: PlanNode) -> float:
+        """Estimated rows crossing the wire, summed over Exchange nodes."""
+        from repro.algebra.ops import walk_plan
+
+        total = 0.0
+        for node in walk_plan(plan):
+            if isinstance(node, Exchange):
+                total += self.estimator.rows(node.child) * exchange_mode_factor(
+                    node.mode, node.shards
+                )
+        return total
 
     def _join_cost(
         self,
@@ -186,14 +253,6 @@ class CostModel:
             + probe.rows * w.hash_probe
             + output.rows * w.output_tuple
         )
-
-
-@dataclass(frozen=True)
-class NetworkWeights:
-    """Two-site communication charges (per row shipped)."""
-
-    per_row: float = 50.0  # a shipped row costs this many CPU-units
-    per_query_setup: float = 100.0
 
 
 class DistributedCostModel:

@@ -77,6 +77,7 @@ class ChaosResult:
     rejections: int = 0
     cancellations: int = 0
     faults_fired: int = 0
+    degradations: int = 0
     errors: Counter = field(default_factory=Counter)
     mismatches: List[str] = field(default_factory=list)
     unexpected: List[str] = field(default_factory=list)
@@ -91,7 +92,7 @@ class ChaosResult:
             f"{self.reads_checked} reads checked, {self.commits} commits, "
             f"{self.aborts} aborts, {self.rejections} rejections, "
             f"{self.cancellations} cancellations, "
-            f"{self.faults_fired} faults, "
+            f"{self.faults_fired} faults, {self.degradations} degradations, "
             f"{len(self.mismatches)} mismatches"
         )
 
@@ -141,6 +142,8 @@ def run_chaos(
     max_slots: Optional[int] = None,
     morsel_size: Optional[int] = 64,
     check: bool = True,
+    shards: int = 1,
+    exchange_fault_sessions: int = 0,
 ) -> ChaosResult:
     """Run the chaos schedule; assert-ready result (see ``ChaosResult.ok``).
 
@@ -150,9 +153,17 @@ def run_chaos(
     long-running read.  With ``check=True`` every recorded read is
     verified against the serial replay of the write log at its pinned
     epoch.
+
+    ``shards > 1`` runs every read through the Exchange wire
+    (shard-parallel two-phase aggregation), and
+    ``exchange_fault_sessions`` threads additionally get a session-scoped
+    shard crash armed mid-shuffle: the Exchange must degrade to
+    single-site execution (counted in ``degradations``) and the degraded
+    read must *still* pass the serial-replay oracle — losing a shard may
+    cost a wire, never a row.
     """
     database, setup_sql = _seed_database()
-    config = ExecutorConfig(engine=engine, morsel_size=morsel_size)
+    config = ExecutorConfig(engine=engine, morsel_size=morsel_size, shards=shards)
     server = Server(
         database, max_slots=max_slots, executor_config=config
     )
@@ -173,6 +184,13 @@ def run_chaos(
         injector.arm(faults.FaultSpec(
             "kernel", engine=engine, session=handles[i].id, occurrence=2,
         ))
+    for i in range(min(exchange_fault_sessions, sessions)):
+        # A shard crash mid-shuffle: the wire's per-delivery injection
+        # point fires inside the session's next Exchange, which must
+        # degrade to single-site execution and keep the answer.
+        injector.arm(faults.FaultSpec(
+            "kernel", engine="exchange", session=handles[i].id, occurrence=0,
+        ))
 
     def worker(index: int) -> None:
         session = handles[index]
@@ -188,6 +206,7 @@ def run_chaos(
                         observed.append(
                             (sql, report.snapshot_epoch, tuple(report.result.rows))
                         )
+                        result.degradations += report.stats.degradations
                 elif roll < 0.80:
                     emp = index * 10_000 + op
                     dept = rng.randrange(N_DEPTS)
@@ -216,6 +235,7 @@ def run_chaos(
                                 (sql, report.snapshot_epoch,
                                  tuple(report.result.rows))
                             )
+                            result.degradations += report.stats.degradations
                     finally:
                         if canceller is not None:
                             canceller.join()

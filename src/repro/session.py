@@ -65,6 +65,13 @@ class QueryReport:
 
         return get_certificate(self.plan)
 
+    @property
+    def distribution_certificate(self):
+        """The R704 shard-exchange certificate, when the plan was sharded."""
+        from repro.optimizer.distribute import distribution_certificate
+
+        return distribution_certificate(self.plan)
+
     def explain(self, certify: bool = False) -> str:
         """The plan-choice story; ``certify=True`` appends the rewrite
         certificate (re-audited first) when the plan carries one."""
@@ -88,6 +95,16 @@ class QueryReport:
                 f"{pipelines.morsels} morsels, max in-flight "
                 f"~{pipelines.max_inflight_bytes} bytes"
             )
+        for exchange in self.stats.exchanges:
+            lines.append(f"exchange: {exchange.describe()}")
+        distribution = self.distribution_certificate
+        if distribution is not None:
+            estimated = distribution.premise_values("estimated-shipped-rows")
+            if estimated:
+                lines.append(
+                    f"exchange estimate: ~{float(estimated[0]):.0f} rows to ship "
+                    f"({distribution.premise_values('strategy')[0]})"
+                )
         if certify:
             certificate = self.certificate
             if certificate is None and not self.rewrites:
@@ -299,6 +316,18 @@ class Session:
     def _executor(self, params: Optional[Mapping[str, SqlValue]]) -> Executor:
         return Executor(self.database, self.executor_config, params)
 
+    def _run_plan(self, plan: PlanNode, params: Optional[Mapping[str, SqlValue]]):
+        """Execute ``plan``; returns (result, stats, executed plan).
+
+        The executed plan can differ from ``plan`` when shard distribution
+        wrapped it in an Exchange — the report carries the executed form so
+        explain() shows the wire.
+        """
+        executor = self._executor(params)
+        result, stats = executor.run(plan)
+        executed = executor.executed_plan
+        return result, stats, executed if executed is not None else plan
+
     def _maybe_rewrite(self, plan: PlanNode):
         """Apply configured certified rewrites; (plan, certificates)."""
         if not self.executor_config.rewrites:
@@ -336,7 +365,7 @@ class Session:
             if certificate is not None:
                 attach_certificate(plan, certificate)
         plan, rewrites = self._maybe_rewrite(plan)
-        result, stats = self._executor(params).run(plan)
+        result, stats, plan = self._run_plan(plan, params)
         return QueryReport(result, plan, choice.strategy, stats, choice, rewrites)
 
     def _run_flat_standard(
@@ -353,7 +382,7 @@ class Session:
             )
         )
         plan, rewrites = self._maybe_rewrite(plan)
-        result, stats = self._executor(params).run(plan)
+        result, stats, plan = self._run_plan(plan, params)
         return QueryReport(result, plan, "standard", stats, rewrites=rewrites)
 
     def _run_ungrouped(
@@ -365,7 +394,7 @@ class Session:
             # input (unlike GROUP BY ()); patch the empty case explicitly.
             plan: PlanNode = fuse_group_apply(Apply(Group(tree, ()), flat.aggregates))
             plan, rewrites = self._maybe_rewrite(plan)
-            result, stats = self._executor(params).run(plan)
+            result, stats, plan = self._run_plan(plan, params)
             if result.cardinality == 0:
                 empty_input = DataSet((), [])
                 row = tuple(
@@ -378,5 +407,5 @@ class Session:
             )
         plan = Project(tree, flat.select_group_columns, flat.distinct)
         plan, rewrites = self._maybe_rewrite(plan)
-        result, stats = self._executor(params).run(plan)
+        result, stats, plan = self._run_plan(plan, params)
         return QueryReport(result, plan, "simple", stats, rewrites=rewrites)

@@ -57,6 +57,24 @@ def test_chaos_eight_sessions(engine, seed):
     assert result.faults_fired >= 2  # the armed write-crash faults fired
 
 
+@pytest.mark.parametrize("engine", ["row", "vector"])
+def test_chaos_sharded_reads_with_shard_crashes(engine):
+    """Every read runs through the Exchange wire (2 shards); two sessions
+    get a shard crash armed mid-shuffle.  The crashed Exchanges must
+    degrade to single-site execution — counted in ``degradations`` — and
+    every read, degraded or not, must still match the serial replay at
+    its pinned epoch: losing a shard may cost a wire, never a row."""
+    result = run_chaos(
+        sessions=4, operations=8, seed=3, engine=engine,
+        fault_sessions=0, cancel_sessions=0,
+        shards=2, exchange_fault_sessions=2,
+    )
+    assert result.ok, result.mismatches + result.unexpected
+    assert result.reads_checked > 0
+    assert result.degradations >= 1
+    assert result.faults_fired >= 1
+
+
 @pytest.mark.concurrency
 def test_chaos_under_admission_pressure():
     """Tight slot budget: rejections happen, reads stay consistent."""

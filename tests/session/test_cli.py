@@ -71,6 +71,35 @@ class TestDotCommands:
         shell.handle(".quit")
         assert shell.done
 
+    def test_shards_switch(self):
+        shell, out = make_shell()
+        shell.handle(".shards 4 range")
+        assert shell.session.executor_config.shards == 4
+        assert shell.session.executor_config.partitioning == "range"
+        assert "shards set to 4 (range partitioning)" in out.getvalue()
+        shell.handle(".shards off")
+        assert shell.session.executor_config.shards == 1
+        assert "shards off" in out.getvalue()
+
+    def test_shards_bad_input(self):
+        shell, out = make_shell()
+        shell.handle(".shards many")
+        assert "error: bad shards" in out.getvalue()
+        assert shell.session.executor_config.shards == 1
+        shell.handle(".shards 2 spiral")
+        assert "error: bad shards" in out.getvalue()
+
+    def test_sharded_query_and_explain_show_the_wire(self):
+        shell, out = make_shell()
+        shell.handle("CREATE TABLE T (k INTEGER, v INTEGER);")
+        for i in range(8):
+            shell.handle(f"INSERT INTO T VALUES ({i % 2}, {i});")
+        shell.handle(".shards 2")
+        shell.handle("SELECT T.k, SUM(T.v) AS s FROM T GROUP BY T.k;")
+        assert "2 rows" in out.getvalue()
+        shell.handle(".explain SELECT T.k, SUM(T.v) AS s FROM T GROUP BY T.k;")
+        assert "Exchange[" in out.getvalue()
+
     def test_unknown_command(self):
         shell, out = make_shell()
         shell.handle(".frobnicate")
