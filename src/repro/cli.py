@@ -38,6 +38,10 @@ Subcommands (no REPL):
 * ``repro serve [--port P] [--max-slots N] [script.sql ...]`` — run the
   multi-session TCP server (snapshot reads, serialized writes, admission
   control; see :mod:`repro.server`).
+* ``repro shard-worker [--host H] [--port P]`` — serve one shard of the
+  socket transport (:mod:`repro.server.transport`); spawned per shard by
+  the coordinator's pool, or started by hand on other hosts.  The global
+  ``--transport {memory,socket}`` flag picks the session's shard wire.
 """
 
 from __future__ import annotations
@@ -74,7 +78,8 @@ Enter SQL terminated by ';'.  Dot-commands:
   .shards <n|off> [hash|range]
                        run queries shard-parallel through the Exchange
                        operator (off = single-site); the optional method
-                       picks the partitioning scheme
+                       picks the partitioning scheme; bare .shards shows
+                       the layout plus per-shard health and RPC counters
   .sessions            list the attached server's open sessions
   .rewrites <spec>     set certified rewrites (all, none, or a comma list of
                        predicate_pushdown, join_reordering, projection_pruning)
@@ -210,6 +215,9 @@ class Shell:
     def _set_shards(self, spec: str) -> None:
         from dataclasses import replace
 
+        if not spec.strip():
+            self._show_shards()
+            return
         count_text, __, method = spec.partition(" ")
         method = method.strip()
         try:
@@ -230,8 +238,41 @@ class Shell:
         else:
             config = self.session.executor_config
             self.write(
-                f"shards set to {count} ({config.partitioning} partitioning)"
+                f"shards set to {count} ({config.partitioning} partitioning, "
+                f"{config.transport} transport)"
             )
+
+    def _show_shards(self) -> None:
+        """Bare ``.shards``: current layout plus per-shard health."""
+        config = self.session.executor_config
+        if config.shards == 1:
+            self.write("shards off (single-site execution)")
+            return
+        self.write(
+            f"shards: {config.shards} ({config.partitioning} partitioning, "
+            f"{config.transport} transport)"
+        )
+        from repro.engine.shardrpc import active_pool
+
+        pool = active_pool()
+        if pool is None:
+            self.write("  no worker pool (no socket-transport query yet)")
+            return
+        pool.heartbeat()  # fresh RTTs, and the ledger notices silent deaths
+        for entry in pool.health():
+            rtt = f"{entry['rtt'] * 1000:.1f}ms" if entry["rtt"] else "-"
+            self.write(
+                f"  {entry['shard']}: {entry['health']}  rtt={rtt}  "
+                f"respawns={entry['respawns']}  "
+                f"failures={entry['failures']}"
+            )
+        counters = pool.counters.snapshot()
+        self.write(
+            f"  rpc: calls={counters['calls']} retries={counters['retries']} "
+            f"timeouts={counters['timeouts']} "
+            f"failovers={counters['failovers']} "
+            f"wire_bytes={counters['wire_bytes']}"
+        )
 
     def _list_sessions(self) -> None:
         if self.server is None:
@@ -601,6 +642,46 @@ def _serve_command(arguments: list, out: TextIO = sys.stdout) -> int:
     return 0
 
 
+def _shard_worker_command(arguments: list, out: TextIO = sys.stdout) -> int:
+    """``repro shard-worker``: serve one shard over the framed socket RPC.
+
+    ``repro shard-worker [--host H] [--port P]`` — binds (port 0 picks an
+    ephemeral one), prints a ``SHARD-WORKER READY port=... pid=...`` line,
+    then answers framed requests (see :mod:`repro.server.transport`) until
+    a ``shutdown`` request arrives.  The coordinator's
+    :class:`~repro.engine.shardrpc.ShardPool` spawns these as one OS
+    process per shard; they can equally be started by hand on other hosts
+    for a multi-host layout.
+    """
+    from repro.server.transport import run_worker
+
+    host, port = "127.0.0.1", 0
+    i = 0
+    while i < len(arguments):
+        argument = arguments[i]
+        name, __, inline = argument.partition("=")
+        if name in ("--host", "--port"):
+            if not inline:
+                i += 1
+                if i >= len(arguments):
+                    out.write(f"error: {name} requires a value\n")
+                    return 2
+                inline = arguments[i]
+            if name == "--host":
+                host = inline
+            else:
+                try:
+                    port = int(inline)
+                except ValueError:
+                    out.write(f"error: bad --port value: {inline!r}\n")
+                    return 2
+        else:
+            out.write("usage: repro shard-worker [--host H] [--port P]\n")
+            return 2
+        i += 1
+    return run_worker(host, port, out=out)
+
+
 def _extract_budget_flags(arguments: list):
     """Strip ``--timeout SECONDS``, ``--memory-limit BYTES``,
     ``--morsel-size ROWS|off`` and ``--workers N`` from an argument list;
@@ -623,6 +704,7 @@ def _extract_budget_flags(arguments: list):
             lambda text: None if text in ("off", "none") else int(text),
         ),
         "--workers": ("workers", parse_workers),
+        "--transport": ("transport", str),
     }
     i = 0
     while i < len(arguments):
@@ -671,6 +753,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         return bench_main(arguments[1:])
     if arguments and arguments[0] == "serve":
         return _serve_command(arguments[1:])
+    if arguments and arguments[0] == "shard-worker":
+        return _shard_worker_command(arguments[1:])
     try:
         arguments, budget = _extract_budget_flags(arguments)
     except ValueError as error:

@@ -23,14 +23,32 @@ merges the shard streams back into one deterministic result:
   group order included.
 
 The wire is deterministic and measured, not estimated: every shard
-delivery is serialized through the spill codec (pickle, highest protocol)
-and the byte length of the actual blob is what the governor's transfer
-meter and :class:`~repro.engine.stats.ExchangeStats` record, multiplied by
-the mode's fan-out (gather x1, shuffle x2, broadcast x shards).  Each
+delivery is serialized at the transport's pinned pickle protocol
+(:data:`repro.server.transport.WIRE_PICKLE_PROTOCOL`) and the byte
+length of the actual blob is what the governor's transfer meter and
+:class:`~repro.engine.stats.ExchangeStats` record, multiplied by the
+mode's fan-out (gather x1, shuffle x2, broadcast x shards).  Receives
+always pass through the transport's **restricted unpickler** — even on
+the in-memory wire — so a forged payload is rejected with a typed
+:class:`~repro.errors.WireFormatError` regardless of transport.  Each
 delivery passes an ``"exchange"`` fault-injection point; an injected
 kernel fault (or a shard crashing mid-run) degrades the whole Exchange to
 single-site execution of the original child, accounted in
 ``stats.degradations`` — the same ladder the vector kernels use.
+
+Two transports carry the deliveries (``config.transport``):
+
+* ``"memory"`` (default) — shards run in-process; the wire is a pickle
+  round-trip through the restricted loader.  Byte accounting is real,
+  failure independence is not.
+* ``"socket"`` — one OS process per shard behind the framed RPC of
+  :mod:`repro.engine.shardrpc`: per-call deadlines, jittered retries,
+  idempotent request IDs, health-checked failover.  A delivery whose
+  every worker is dead raises :class:`KernelFault` into the same
+  single-site degrade ladder, so the answer never changes.  Payload
+  byte accounting (``bytes_shipped``) is computed identically to the
+  memory wire; the extra frames-on-the-wire total lands in
+  ``wire_bytes``.
 """
 
 from __future__ import annotations
@@ -53,8 +71,9 @@ from repro.engine.dataset import DataSet
 from repro.engine.faults import KernelFault
 from repro.engine.governor import ResourceGovernor
 from repro.engine.stats import ExchangeStats, ExecutionStats, NodeStats
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ShardUnavailable
 from repro.expressions.ast import Aggregate, ColumnRef
+from repro.server.transport import WIRE_PICKLE_PROTOCOL, restricted_loads
 from repro.sqltypes.values import NULL, SqlValue, is_null, sort_key, sql_div
 from repro.storage.partition import PartitionSpec, partition_table
 
@@ -210,11 +229,14 @@ def run_exchange(
     label = node.label()
     try:
         return _run_sharded(database, config, params, node, stats, governor, label)
-    except KernelFault as error:
+    except (KernelFault, ShardUnavailable) as error:
         if not config.degrade:
             raise
-        # A shard died mid-exchange: degrade to single-site execution of
-        # the original child at the coordinator (no wire, exact semantics).
+        # A shard died mid-exchange — or, on the socket transport, no
+        # worker could even be reached (ShardUnavailable escaping the
+        # retry/failover layer means the whole pool is down): degrade to
+        # single-site execution of the original child at the coordinator
+        # (no wire, exact semantics).
         stats.note_degradation(label, error)
         governor.check(label)
         fallback_config = replace(
@@ -288,21 +310,82 @@ def _run_sharded(
     ordering: Tuple[str, ...] = ()
     received = 0
     raw_bytes = 0
-    for shard_table in partitions:
-        shard_db = database.snapshot_view()
-        shard_db.tables[relation.table_name] = shard_table
-        result, sub_stats = Executor(shard_db, shard_config, params).run(shard_plan)
-        _merge_substats(stats, governor, sub_stats)
-        # The wire: serialize through the spill codec, meter the actual
-        # bytes, and give the fault injector its per-delivery crash point.
-        faults.injection_point("exchange", label)
-        blob = pickle.dumps(list(result.rows), protocol=pickle.HIGHEST_PROTOCOL)
-        rows = pickle.loads(blob)
-        deliveries.append(rows)
-        columns = tuple(result.columns)
-        ordering = tuple(result.ordering)
-        received += len(rows)
-        raw_bytes += len(blob)
+    rpc_before = rpc_after = None
+    health: Tuple[str, ...] = ()
+    if config.transport == "socket":
+        from repro.engine.shardrpc import get_pool
+
+        pool = get_pool(
+            len(partitions),
+            timeout_seconds=config.rpc_timeout_seconds,
+            attempts=config.rpc_attempts,
+        )
+        rpc_before = pool.counters.snapshot()
+        worker_config = {
+            "engine": config.engine,
+            "join_algorithm": config.join_algorithm,
+            "aggregation": config.aggregation,
+            "exploit_orders": config.exploit_orders,
+            "morsel_size": config.morsel_size,
+            "memory_limit_bytes": config.memory_limit_bytes,
+            "max_rows": config.max_rows,
+            "spill": config.spill,
+            "degrade": config.degrade,
+        }
+        for index, shard_table in enumerate(partitions):
+            # Same per-delivery crash point the memory wire exposes, so
+            # the existing fault matrix and chaos schedules carry over.
+            faults.injection_point("exchange", label)
+            response = pool.execute(index, {
+                "op": "execute",
+                "table": shard_table,
+                "table_name": relation.table_name,
+                "plan": shard_plan,
+                "params": dict(params) if params else None,
+                "config": worker_config,
+            })
+            rows = list(response["rows"])
+            deliveries.append(rows)
+            columns = tuple(response["columns"])
+            ordering = tuple(response["ordering"])
+            received += len(rows)
+            # Payload accounting identical to the memory wire (the framed
+            # request/response totals land in wire_bytes instead).
+            raw_bytes += len(
+                pickle.dumps(rows, protocol=WIRE_PICKLE_PROTOCOL)
+            )
+            stats.degradations += response.get("degradations", 0)
+            stats.degradation_events.extend(
+                response.get("degradation_events", ())
+            )
+            governor.spill_count += response.get("spill_count", 0)
+            governor.spilled_rows += response.get("spilled_rows", 0)
+        rpc_after = pool.counters.snapshot()
+        health = tuple(
+            f"{entry['shard']}: {entry['health']}"
+            for entry in pool.health()
+        )
+    else:
+        for shard_table in partitions:
+            shard_db = database.snapshot_view()
+            shard_db.tables[relation.table_name] = shard_table
+            result, sub_stats = Executor(shard_db, shard_config, params).run(
+                shard_plan
+            )
+            _merge_substats(stats, governor, sub_stats)
+            # The wire: serialize at the pinned wire protocol, meter the
+            # actual bytes, decode through the restricted unpickler, and
+            # give the fault injector its per-delivery crash point.
+            faults.injection_point("exchange", label)
+            blob = pickle.dumps(
+                list(result.rows), protocol=WIRE_PICKLE_PROTOCOL
+            )
+            rows = restricted_loads(blob)
+            deliveries.append(rows)
+            columns = tuple(result.columns)
+            ordering = tuple(result.ordering)
+            received += len(rows)
+            raw_bytes += len(blob)
 
     fanout = exchange_fanout(node.mode, node.shards)
     rows_shipped = received * fanout
@@ -318,9 +401,22 @@ def _run_sharded(
             columns, ordering, deliveries, rowid_column(relation.correlation),
             config.expose_rowids,
         )
-    stats.exchanges.append(
-        ExchangeStats(label, node.mode, node.shards, rows_shipped, bytes_shipped)
+    exchange_stats = ExchangeStats(
+        label, node.mode, node.shards, rows_shipped, bytes_shipped,
+        transport=config.transport, shard_health=health,
     )
+    if rpc_before is not None and rpc_after is not None:
+        exchange_stats.rpc_retries = rpc_after["retries"] - rpc_before["retries"]
+        exchange_stats.rpc_timeouts = (
+            rpc_after["timeouts"] - rpc_before["timeouts"]
+        )
+        exchange_stats.rpc_failovers = (
+            rpc_after["failovers"] - rpc_before["failovers"]
+        )
+        exchange_stats.wire_bytes = (
+            rpc_after["wire_bytes"] - rpc_before["wire_bytes"]
+        )
+    stats.exchanges.append(exchange_stats)
     stats.record(
         id(node),
         NodeStats(label, "exchange", (received,), merged.cardinality, rows_shipped),

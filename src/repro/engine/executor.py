@@ -128,6 +128,13 @@ class ExecutorConfig:
     * ``partitioning``: ``"hash"`` or ``"range"`` shard assignment
       (:mod:`repro.storage.partition`); either way every row lands in
       exactly one shard, so this never changes results either.
+    * ``transport``: ``"memory"`` (shards run in-process, the wire is a
+      pickle round-trip) or ``"socket"`` (one OS process per shard behind
+      the framed RPC of :mod:`repro.server.transport`, with retries,
+      health-checked failover, and idempotent request IDs — see
+      :mod:`repro.engine.shardrpc`).  Transport never changes results.
+    * ``rpc_timeout_seconds`` / ``rpc_attempts``: the per-call deadline
+      and retry budget for each socket-transport shard delivery.
     """
 
     join_algorithm: str = "auto"
@@ -149,6 +156,9 @@ class ExecutorConfig:
     shards: int = 1
     exchange: str = "auto"
     partitioning: str = "hash"
+    transport: str = "memory"
+    rpc_timeout_seconds: float = 5.0
+    rpc_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.join_algorithm not in ("auto", "nested_loop", "hash", "sort_merge"):
@@ -200,6 +210,12 @@ class ExecutorConfig:
             raise ValueError(f"bad exchange mode: {self.exchange}")
         if self.partitioning not in ("hash", "range"):
             raise ValueError(f"bad partitioning: {self.partitioning}")
+        if self.transport not in ("memory", "socket"):
+            raise ValueError(f"bad transport: {self.transport}")
+        if self.rpc_timeout_seconds <= 0:
+            raise ValueError("rpc_timeout_seconds must be positive")
+        if self.rpc_attempts < 1:
+            raise ValueError("rpc_attempts must be at least 1")
 
 
 class Executor:

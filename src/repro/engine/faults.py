@@ -116,6 +116,69 @@ class FaultSpec:
         return True
 
 
+#: Network fault kinds the shard transport understands.  ``drop`` loses
+#: the request (the caller times out and retries), ``delay`` stalls it,
+#: ``duplicate`` sends it twice (the worker's idempotent request-ID cache
+#: must serve the second copy without re-executing), ``garble`` corrupts
+#: the frame bytes in transit (the checksum must catch it and the caller
+#: re-send clean bytes), and ``partition`` makes the shard unreachable for
+#: ``count`` consecutive messages (driving the health ledger through
+#: suspect → dead and the delivery over to a live peer).
+NETWORK_FAULT_KINDS: Tuple[str, ...] = (
+    "drop", "delay", "duplicate", "garble", "partition",
+)
+
+
+@dataclass
+class NetFaultSpec:
+    """One planted *network* fault on the shard transport.
+
+    Deterministic like :class:`FaultSpec`, but matched against transport
+    messages instead of operator dispatches: ``shard`` is the worker
+    label (``"shard-0"``; ``None`` matches any), ``op`` the RPC operation
+    (``"execute"``, ``"ping"``; ``None`` any), ``session`` the usual
+    :func:`scope` restriction.  Two firing modes:
+
+    * **occurrence window** (default): the ``occurrence``-th matching
+      message fires, and so do the next ``count - 1`` after it — a
+      ``partition`` with ``count=3`` blacks the shard out for exactly
+      three messages, then heals.
+    * **seeded rate** (``rate=0.1, seed=7``): each matching message draws
+      from a per-spec ``random.Random(seed)`` and fires when the draw is
+      below ``rate``.  Deterministic replay — same seed, same schedule —
+      while exercising retries at realistic, uncorrelated points.
+    """
+
+    kind: str
+    shard: Optional[str] = None
+    op: Optional[str] = None
+    occurrence: int = 0
+    count: int = 1
+    rate: Optional[float] = None
+    seed: int = 0
+    delay_seconds: float = 0.005
+    session: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in NETWORK_FAULT_KINDS:
+            raise ValueError(f"unknown network fault kind {self.kind!r}")
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+        if self.rate is not None and not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be within [0, 1]")
+
+    def matches(
+        self, shard: str, op: str, session: Optional[str] = None
+    ) -> bool:
+        if self.shard is not None and self.shard != shard:
+            return False
+        if self.op is not None and self.op != op:
+            return False
+        if self.session is not None and self.session != session:
+            return False
+        return True
+
+
 @dataclass
 class FaultInjector:
     """Counts injection-point visits and fires armed specs (thread-safe)."""
@@ -125,9 +188,23 @@ class FaultInjector:
     fired: List[Tuple[FaultSpec, str, str]] = field(default_factory=list)
     _matched: List[int] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    net_specs: Tuple[NetFaultSpec, ...] = ()
+    net_fired: List[Tuple[NetFaultSpec, str, str]] = field(default_factory=list)
+    _net_matched: List[int] = field(default_factory=list)
+    _net_rngs: List[Optional[object]] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         self._matched = [0] * len(self.specs)
+        self._init_net_state()
+
+    def _init_net_state(self) -> None:
+        import random
+
+        self._net_matched = [0] * len(self.net_specs)
+        self._net_rngs = [
+            random.Random(spec.seed) if spec.rate is not None else None
+            for spec in self.net_specs
+        ]
 
     def arm(self, spec: FaultSpec) -> FaultSpec:
         """Add one more spec while the injector is live (chaos schedules)."""
@@ -135,6 +212,43 @@ class FaultInjector:
             self.specs = self.specs + (spec,)
             self._matched.append(0)
         return spec
+
+    def arm_net(self, spec: NetFaultSpec) -> NetFaultSpec:
+        """Add one more network spec while the injector is live."""
+        import random
+
+        with self._lock:
+            self.net_specs = self.net_specs + (spec,)
+            self._net_matched.append(0)
+            self._net_rngs.append(
+                random.Random(spec.seed) if spec.rate is not None else None
+            )
+        return spec
+
+    def network_actions(self, shard: str, op: str) -> List[NetFaultSpec]:
+        """The network faults firing on this transport message, in arm
+        order.  Occurrence counting and rate draws are serialized under
+        the injector lock, exactly like operator faults."""
+        session = current_scope()
+        actions: List[NetFaultSpec] = []
+        with self._lock:
+            for i, spec in enumerate(self.net_specs):
+                if not spec.matches(shard, op, session):
+                    continue
+                if spec.rate is not None:
+                    rng = self._net_rngs[i]
+                    if rng.random() >= spec.rate:  # type: ignore[union-attr]
+                        continue
+                else:
+                    seen = self._net_matched[i]
+                    self._net_matched[i] = seen + 1
+                    if not (
+                        spec.occurrence <= seen < spec.occurrence + spec.count
+                    ):
+                        continue
+                self.net_fired.append((spec, shard, op))
+                actions.append(spec)
+        return actions
 
     def visit(self, engine: str, label: str) -> None:
         session = current_scope()
@@ -179,10 +293,26 @@ def injection_point(engine: str, label: str) -> None:
         _ACTIVE.visit(engine, label)
 
 
+def network_actions(shard: str, op: str) -> List[NetFaultSpec]:
+    """Called by the shard transport per message; empty unless armed."""
+    if _ACTIVE is None:
+        return []
+    return _ACTIVE.network_actions(shard, op)
+
+
 @contextmanager
-def inject(*specs: FaultSpec) -> Iterator[FaultInjector]:
-    """Arm ``specs`` for the duration of a ``with`` block."""
-    injector = FaultInjector(tuple(specs))
+def inject(
+    *specs: "FaultSpec | NetFaultSpec",
+) -> Iterator[FaultInjector]:
+    """Arm ``specs`` for the duration of a ``with`` block.
+
+    Operator faults (:class:`FaultSpec`) and network faults
+    (:class:`NetFaultSpec`) may be mixed freely; each kind fires at its
+    own injection points.
+    """
+    plain = tuple(s for s in specs if isinstance(s, FaultSpec))
+    net = tuple(s for s in specs if isinstance(s, NetFaultSpec))
+    injector = FaultInjector(plain, net_specs=net)
     install(injector)
     try:
         yield injector

@@ -51,12 +51,35 @@ class ExchangeStats:
     partitions: int
     rows_shipped: int = 0
     bytes_shipped: int = 0
+    #: ``"memory"`` or ``"socket"`` — which wire carried the deliveries.
+    transport: str = "memory"
+    #: RPC counters for this Exchange (socket transport only; all zero on
+    #: the memory wire): backoffs taken, per-call socket timeouts,
+    #: deliveries re-dispatched to a peer, and bytes on the real wire
+    #: (frames in both directions, as opposed to ``bytes_shipped``'s
+    #: transport-independent payload accounting).
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    rpc_failovers: int = 0
+    wire_bytes: int = 0
+    #: Per-shard health after the exchange, e.g. ``("shard-0: healthy",)``.
+    shard_health: Tuple[str, ...] = ()
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.mode} x{self.partitions}: {self.rows_shipped} rows, "
             f"{self.bytes_shipped} bytes shipped ({self.label})"
         )
+        if self.transport != "memory":
+            text += (
+                f" [transport={self.transport}, retries={self.rpc_retries}, "
+                f"timeouts={self.rpc_timeouts}, "
+                f"failovers={self.rpc_failovers}, "
+                f"wire_bytes={self.wire_bytes}]"
+            )
+        if self.shard_health:
+            text += " health: " + ", ".join(self.shard_health)
+        return text
 
 
 @dataclass

@@ -415,7 +415,8 @@ def _section7_query():
 
 
 def run_distributed_bench(
-    quick: bool = False, repeat: int = 2, shards: int = 2
+    quick: bool = False, repeat: int = 2, shards: int = 2,
+    transport: str = "memory",
 ) -> Dict:
     """Section 7 measured on the wire: shipped rows/bytes, eager vs ship-all.
 
@@ -431,6 +432,11 @@ def run_distributed_bench(
     strategy on its own (the ``shard_exchange`` certificate's recorded
     strategy).  Every sharded run must be bit-identical to its unsharded
     counterpart on the same engine.
+
+    ``transport="socket"`` runs the sharded side over the real shard RPC
+    (one OS process per shard); the report then carries socket wall-clock
+    plus the RPC retry/timeout/failover counters and framed wire bytes
+    from :class:`~repro.engine.stats.ExchangeStats`.
     """
     from repro.core.transform import build_eager_plan, build_standard_plan
     from repro.engine.executor import Executor
@@ -446,6 +452,7 @@ def run_distributed_bench(
         "quick": quick,
         "repeat": repeat,
         "shards": shards,
+        "transport": transport,
         "n_a": n_a,
         "n_b": n_b,
         "sweep": [],
@@ -469,6 +476,15 @@ def run_distributed_bench(
             return {}
         return dict(certificate.premises)
 
+    def rpc_of(stats) -> Dict[str, int]:
+        """Summed RPC counters over the run's Exchange deliveries."""
+        return {
+            "retries": sum(e.rpc_retries for e in stats.exchanges),
+            "timeouts": sum(e.rpc_timeouts for e in stats.exchanges),
+            "failovers": sum(e.rpc_failovers for e in stats.exchanges),
+            "wire_bytes": sum(e.wire_bytes for e in stats.exchanges),
+        }
+
     for groups in DISTRIBUTED_GROUPS:
         db = make_two_table(
             TwoTableSpec(
@@ -485,7 +501,7 @@ def run_distributed_bench(
         def eager_factory(q=query):
             return build_eager_plan(q)
 
-        sharded = ExecutorConfig(shards=shards)
+        sharded = ExecutorConfig(shards=shards, transport=transport)
         single = ExecutorConfig()
 
         std_s, std_result, std_stats, std_plan = timed(
@@ -529,6 +545,7 @@ def run_distributed_bench(
                 "rows_shipped": std_stats.rows_shipped(),
                 "bytes_shipped": std_stats.bytes_shipped(),
                 "estimated_rows": std_estimate,
+                "rpc": rpc_of(std_stats),
             },
             "eager": {
                 "wall_s": round(eager_s, 6),
@@ -537,6 +554,7 @@ def run_distributed_bench(
                 "rows_shipped": eager_stats.rows_shipped(),
                 "bytes_shipped": eager_stats.bytes_shipped(),
                 "estimated_rows": eager_estimate,
+                "rpc": rpc_of(eager_stats),
             },
             "model_cost": {
                 "standard": round(standard_cost, 1),
@@ -573,12 +591,17 @@ def run_distributed_bench(
     report["all_equal"] = all(
         entry["results_match"] for entry in report["sweep"]
     )
+    if transport == "socket":
+        from repro.engine.shardrpc import shutdown_pool
+
+        shutdown_pool()
     return report
 
 
 def render_distributed_report(report: Dict) -> str:
     lines = [
         f"distributed sweep: |A|={report['n_a']}, {report['shards']} shards, "
+        f"{report.get('transport', 'memory')} transport, "
         "hash-partitioned on the join column",
         f"{'groups':>7} {'ship-all rows':>14} {'eager rows':>11} "
         f"{'ship-all B':>11} {'eager B':>9} {'saving':>7}  strategy",
@@ -590,6 +613,16 @@ def render_distributed_report(report: Dict) -> str:
             f"{entry['standard']['bytes_shipped']:>11} "
             f"{entry['eager']['bytes_shipped']:>9} "
             f"{entry['transfer_saving']:>6.1f}x  {entry['eager']['strategy']}"
+        )
+    if report.get("transport") == "socket":
+        retries = sum(e["eager"]["rpc"]["retries"] for e in report["sweep"])
+        timeouts = sum(e["eager"]["rpc"]["timeouts"] for e in report["sweep"])
+        failovers = sum(
+            e["eager"]["rpc"]["failovers"] for e in report["sweep"]
+        )
+        lines.append(
+            f"socket rpc (eager runs): retries={retries} "
+            f"timeouts={timeouts} failovers={failovers}"
         )
     lines.append(
         "planner picked two-phase: "
@@ -706,6 +739,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="shard count for --distributed",
     )
     parser.add_argument(
+        "--transport",
+        choices=("memory", "socket"),
+        default="memory",
+        help="shard wire for --distributed: in-process pickle round-trip "
+        "(memory) or one OS process per shard over the framed socket RPC "
+        "(socket)",
+    )
+    parser.add_argument(
         "--server",
         action="store_true",
         help="run the concurrent multi-session server workload and write "
@@ -750,6 +791,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             quick=options.quick,
             repeat=options.repeat,
             shards=options.shards,
+            transport=options.transport,
         )
         print(render_distributed_report(report))
         out_path = options.out or "BENCH_distributed.json"

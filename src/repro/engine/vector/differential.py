@@ -503,10 +503,16 @@ def shard_config_label(overrides: dict) -> str:
     shards = overrides.get("shards", 1)
     if shards == 1:
         return "shards=1"
-    return f"shards={shards}+{overrides.get('partitioning', 'hash')}"
+    label = f"shards={shards}+{overrides.get('partitioning', 'hash')}"
+    transport = overrides.get("transport", "memory")
+    if transport != "memory":
+        label += f"+{transport}"
+    return label
 
 
-def run_shard_matrix(quick: bool = True) -> List[Tuple[str, List[CaseResult]]]:
+def run_shard_matrix(
+    quick: bool = True, transport: str = "memory"
+) -> List[Tuple[str, List[CaseResult]]]:
     """The full differential under every :data:`SHARD_MATRIX` entry.
 
     For each (case, configuration) each engine's own unsharded run is its
@@ -516,9 +522,16 @@ def run_shard_matrix(quick: bool = True) -> List[Tuple[str, List[CaseResult]]]:
     Across engines the usual differential contract holds (same multiset):
     physical row order under hash aggregation legitimately differs
     between backends, sharded or not.
+
+    ``transport="socket"`` replays the whole matrix over the real shard
+    RPC (one OS process per shard) — same bit-identity bar; the wire
+    must be invisible too.
     """
     sweeps: List[Tuple[str, List[CaseResult]]] = []
-    for overrides in SHARD_MATRIX:
+    for base_overrides in SHARD_MATRIX:
+        overrides = dict(base_overrides)
+        if overrides.get("shards", 1) > 1 and transport != "memory":
+            overrides["transport"] = transport
         results: List[CaseResult] = []
 
         def compare(name: str, config: ExecutorConfig, run) -> None:

@@ -141,6 +141,40 @@ def error_exit_code(error: BaseException) -> int:
     return 4
 
 
+class TransportError(ExecutionError):
+    """A failure in the multi-host shard transport (sockets, framing, RPC).
+
+    Subtypes distinguish the wire-format family (malformed or forged
+    payloads, version mismatches — never retryable: resending the same
+    bytes reproduces the failure) from the availability family (timeouts,
+    connection loss, partitions — retryable: the shard RPC layer backs
+    off, retries under the idempotent request-ID contract, and fails the
+    delivery over to a live peer).  Shares the execution exit-code
+    family (4).
+    """
+
+
+class WireFormatError(TransportError):
+    """A frame or payload on the shard wire could not be decoded safely.
+
+    Raised for bad magic, a wire-version mismatch, a checksum failure
+    (garbled bytes), an oversized frame, or a pickle payload referencing
+    a class outside the transport's allow-list (a forged payload).  Never
+    retried with the same bytes; the RPC layer re-serializes and resends
+    once when the cause was transit corruption.
+    """
+
+
+class ShardUnavailable(TransportError):
+    """A shard worker did not answer: timeout, connection loss, or a
+    network partition.  Retryable — carries an optional ``retry_after``
+    hint honoured by :func:`repro.server.retry.call_with_backoff`."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class PlanVerificationError(ExecutionError):
     """Static verification rejected a plan before execution.
 

@@ -143,13 +143,28 @@ def distribute_plan(plan: PlanNode, database: Database, config) -> PlanNode:
     shards = config.shards
     keys = _exchange_keys(site.relation, method, database)
 
+    # On the socket transport the communication term gains a per-site
+    # latency charge from the pool's measured heartbeat RTTs (one RTT is
+    # one tuple_cpu-second's worth of CPU units, scaled coarsely; 0 when
+    # no pool has run yet or the wire is in-memory).  The charge is
+    # ``shards x latency`` for *every* Exchange candidate, so it shifts
+    # distributed totals against single-site without flipping the
+    # ship-all vs two-phase choice.
+    latency_weight = 0.0
+    if getattr(config, "transport", "memory") == "socket":
+        from repro.engine.shardrpc import active_pool
+
+        live = active_pool()
+        if live is not None:
+            latency_weight = live.measured_latency() * 1_000_000.0
+
     model = CostModel(
         estimator,
         join_algorithm=(
             "hash" if config.join_algorithm == "auto" else config.join_algorithm
         ),
         engine=config.engine,
-        network=NetworkWeights(),
+        network=NetworkWeights(per_site_latency=latency_weight),
     )
 
     candidates: List[Tuple[float, PlanNode, PlanNode, Exchange, str]] = []
@@ -187,6 +202,8 @@ def distribute_plan(plan: PlanNode, database: Database, config) -> PlanNode:
         ("keys", ", ".join(exchange.keys) or "(rowid)"),
         ("estimated-shipped-rows", f"{estimated_shipped:.6f}"),
         ("cost", f"{cost:.6f}"),
+        ("transport", getattr(config, "transport", "memory")),
+        ("per-site-latency", f"{latency_weight:.6f}"),
     ]
     if strategy == "two-phase":
         premises.append(

@@ -144,6 +144,8 @@ def run_chaos(
     check: bool = True,
     shards: int = 1,
     exchange_fault_sessions: int = 0,
+    transport: str = "memory",
+    kill_shards: int = 0,
 ) -> ChaosResult:
     """Run the chaos schedule; assert-ready result (see ``ChaosResult.ok``).
 
@@ -161,9 +163,22 @@ def run_chaos(
     single-site execution (counted in ``degradations``) and the degraded
     read must *still* pass the serial-replay oracle — losing a shard may
     cost a wire, never a row.
+
+    ``transport="socket"`` runs the sharded reads over the real socket
+    RPC (one OS process per shard, :mod:`repro.engine.shardrpc`), and
+    ``kill_shards`` SIGKILLs that many randomly chosen live workers at
+    seeded points *while the schedule runs*: a killed shard mid-query
+    must be survived by retry + failover to a live peer, or by the
+    single-site degrade — either way the serial-replay oracle must stay
+    green.  The replay itself always uses the in-memory wire (transport
+    never changes results; replaying through dead workers would test the
+    transport twice and the oracle zero times).
     """
     database, setup_sql = _seed_database()
-    config = ExecutorConfig(engine=engine, morsel_size=morsel_size, shards=shards)
+    config = ExecutorConfig(
+        engine=engine, morsel_size=morsel_size, shards=shards,
+        transport=transport, rpc_timeout_seconds=2.0,
+    )
     server = Server(
         database, max_slots=max_slots, executor_config=config
     )
@@ -248,16 +263,48 @@ def run_chaos(
                 with observed_lock:
                     result.unexpected.append(f"{session.id}: {error!r}")
 
+    stop_killer = threading.Event()
+
+    def shard_killer() -> None:
+        """SIGKILL ``kill_shards`` live workers at seeded points."""
+        import time
+
+        from repro.engine.shardrpc import active_pool
+
+        killer_rng = random.Random(seed * 7919 + 13)
+        remaining = kill_shards
+        while remaining > 0 and not stop_killer.is_set():
+            time.sleep(killer_rng.uniform(0.01, 0.05))
+            pool = active_pool()
+            if pool is None:
+                continue
+            live = [
+                i for i, w in enumerate(pool.workers)
+                if w.process is not None and w.process.poll() is None
+            ]
+            if not live:
+                continue
+            pool.kill(killer_rng.choice(live))
+            remaining -= 1
+
     threads = [
         threading.Thread(target=worker, args=(i,), name=f"chaos-{i}")
         for i in range(sessions)
     ]
+    killer = None
+    if kill_shards > 0 and transport == "socket":
+        killer = threading.Thread(target=shard_killer, name="chaos-killer")
     try:
         for thread in threads:
             thread.start()
+        if killer is not None:
+            killer.start()
         for thread in threads:
             thread.join()
     finally:
+        stop_killer.set()
+        if killer is not None:
+            killer.join()
         faults.install(None)
 
     result.commits = server.catalog.commits
@@ -288,11 +335,18 @@ def _check_serial_replay(
     the whole check costs one pass over the log regardless of how many
     reads were recorded.
     """
+    from dataclasses import replace
+
     log = server.catalog.log_upto(server.catalog.epoch)
     replay_db = Database()
     for sql in setup_sql:
         execute_statement(replay_db, parse_statement(sql))
-    session = Session(replay_db, executor_config=config)
+    # Same engine configuration, but always the in-memory wire: transport
+    # never changes results, and the oracle must not depend on workers
+    # the killer thread just shot.
+    session = Session(
+        replay_db, executor_config=replace(config, transport="memory")
+    )
     applied = 0
     for sql, epoch, rows in sorted(observed, key=lambda entry: entry[1]):
         while applied < len(log) and log[applied][0] <= epoch:

@@ -11,7 +11,7 @@ import pytest
 from repro.algebra.ops import AggregateSpec, Apply, Group, Join, Relation, Select
 from repro.catalog import Column, Database, PrimaryKeyConstraint, TableSchema
 from repro.engine.executor import Executor, ExecutorConfig
-from repro.engine.faults import FaultSpec, KernelFault, inject
+from repro.engine.faults import FaultSpec, KernelFault, NetFaultSpec, inject
 from repro.engine.vector.differential import (
     fault_failures,
     render_fault_outcomes,
@@ -160,3 +160,85 @@ class TestFaultMatrix:
         assert outcomes, "matrix planted no faults"
         assert not fault_failures(outcomes), render_fault_outcomes(outcomes)
         assert all(o.mode == "typed-error" for o in outcomes)
+
+
+class TestNetFaultSpec:
+    """The network-fault half of the injector: pure unit tests (no
+    sockets) against :meth:`FaultInjector.network_actions` — the shard
+    transport's per-message hook."""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown network fault kind"):
+            NetFaultSpec("melt")
+
+    def test_count_and_rate_validated(self):
+        with pytest.raises(ValueError, match="count"):
+            NetFaultSpec("drop", count=0)
+        with pytest.raises(ValueError, match="rate"):
+            NetFaultSpec("drop", rate=1.5)
+
+    def test_occurrence_window_fires_count_consecutive_messages(self):
+        # occurrence=1, count=2: the 2nd and 3rd matching messages fire,
+        # then the spec heals — a bounded partition window.
+        with inject(
+            NetFaultSpec("partition", shard="shard-0", occurrence=1, count=2)
+        ) as injector:
+            schedule = [
+                bool(injector.network_actions("shard-0", "execute"))
+                for __ in range(5)
+            ]
+        assert schedule == [False, True, True, False, False]
+
+    def test_shard_and_op_filters(self):
+        with inject(NetFaultSpec("drop", shard="shard-1", op="execute")) as injector:
+            assert not injector.network_actions("shard-0", "execute")
+            assert not injector.network_actions("shard-1", "ping")
+            assert injector.network_actions("shard-1", "execute")
+
+    def test_rate_mode_is_seeded_and_replayable(self):
+        def schedule(seed):
+            with inject(NetFaultSpec("drop", rate=0.4, seed=seed)) as injector:
+                return [
+                    bool(injector.network_actions("shard-0", "execute"))
+                    for __ in range(30)
+                ]
+
+        first, second = schedule(11), schedule(11)
+        assert first == second  # same seed, same schedule
+        assert any(first) and not all(first)  # actually probabilistic
+        assert schedule(12) != first  # a different seed reshuffles
+
+    def test_session_scoped_spec_only_fires_in_scope(self):
+        from repro.engine import faults as faults_module
+
+        with inject(
+            NetFaultSpec("partition", session="s1", count=10)
+        ) as injector:
+            assert not injector.network_actions("shard-0", "execute")
+            with faults_module.scope("s2"):
+                assert not injector.network_actions("shard-0", "execute")
+            with faults_module.scope("s1"):
+                assert injector.network_actions("shard-0", "execute")
+
+    def test_mixed_inject_splits_operator_and_network_specs(self, db):
+        # One context arms both halves; each fires only at its own hook.
+        with inject(
+            FaultSpec("kernel", engine="row"),
+            NetFaultSpec("drop", op="execute"),
+        ) as injector:
+            assert injector.specs and injector.net_specs
+            assert injector.network_actions("shard-0", "execute")
+            with pytest.raises(KernelFault):
+                Executor(db, ExecutorConfig()).run(plan())
+        assert injector.net_fired and injector.fired
+
+    def test_arm_net_while_live(self):
+        with inject() as injector:
+            assert not injector.network_actions("shard-0", "execute")
+            injector.arm_net(NetFaultSpec("garble", op="execute"))
+            assert injector.network_actions("shard-0", "execute")
+
+    def test_module_hook_empty_when_disarmed(self):
+        from repro.engine import faults as faults_module
+
+        assert faults_module.network_actions("shard-0", "execute") == []

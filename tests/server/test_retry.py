@@ -116,3 +116,132 @@ def test_non_admission_errors_propagate_immediately():
 def test_attempts_validation():
     with pytest.raises(ValueError):
         call_with_backoff(lambda: 1, attempts=0)
+
+
+class TestPinnedEdgeCases:
+    """The two contract edge cases the shard RPC layer relies on."""
+
+    def test_single_attempt_never_sleeps(self):
+        # attempts=1: the one attempt either succeeds or raises — there is
+        # no backoff before a retry that will never happen.
+        sleeps = []
+        with pytest.raises(AdmissionRejected):
+            call_with_backoff(
+                flaky(10), attempts=1, sleep=sleeps.append, seed=0
+            )
+        assert sleeps == []
+
+    def test_single_attempt_ignores_huge_hint(self):
+        sleeps = []
+        with pytest.raises(AdmissionRejected):
+            call_with_backoff(
+                flaky(10, retry_after=60.0),
+                attempts=1,
+                sleep=sleeps.append,
+                seed=0,
+            )
+        assert sleeps == []
+
+    def test_hint_beyond_deadline_fails_fast(self):
+        # A retry_after hint larger than the remaining deadline must raise
+        # immediately, not sleep past the deadline to discover it expired.
+        clock = {"now": 0.0}
+        sleeps = []
+
+        def fake_clock():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock["now"] += seconds
+
+        with pytest.raises(AdmissionRejected):
+            call_with_backoff(
+                flaky(10, retry_after=5.0),
+                attempts=8,
+                deadline_seconds=1.0,
+                sleep=fake_sleep,
+                clock=fake_clock,
+                seed=0,
+            )
+        assert sleeps == []  # never slept at all: the hint > deadline
+        assert clock["now"] == 0.0
+
+
+class TestRetryOnAndMetering:
+    """The generalized hooks the shard RPC layer plugs into."""
+
+    def test_custom_retry_on_types(self):
+        from repro.errors import ShardUnavailable
+
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] <= 2:
+                raise ShardUnavailable("worker silent")
+            return "ok"
+
+        assert (
+            call_with_backoff(
+                fn,
+                retry_on=(ShardUnavailable,),
+                sleep=lambda s: None,
+                seed=0,
+            )
+            == "ok"
+        )
+        assert state["calls"] == 3
+
+    def test_default_does_not_retry_transport_errors(self):
+        from repro.errors import ShardUnavailable
+
+        def fn():
+            raise ShardUnavailable("worker silent")
+
+        with pytest.raises(ShardUnavailable):
+            call_with_backoff(fn, sleep=lambda s: None, seed=0)
+
+    def test_on_retry_fires_per_backoff_taken(self):
+        metered = []
+        call_with_backoff(
+            flaky(3),
+            sleep=lambda s: None,
+            on_retry=lambda error, delay: metered.append((error, delay)),
+            seed=0,
+        )
+        assert len(metered) == 3
+        assert all(isinstance(e, AdmissionRejected) for e, __ in metered)
+
+    def test_on_retry_not_fired_on_final_failure(self):
+        metered = []
+        with pytest.raises(AdmissionRejected):
+            call_with_backoff(
+                flaky(10),
+                attempts=3,
+                sleep=lambda s: None,
+                on_retry=lambda error, delay: metered.append(delay),
+                seed=0,
+            )
+        assert len(metered) == 2
+
+    def test_shard_unavailable_hint_honoured(self):
+        from repro.errors import ShardUnavailable
+
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise ShardUnavailable("busy", retry_after=0.25)
+            return "ok"
+
+        sleeps = []
+        call_with_backoff(
+            fn,
+            retry_on=(ShardUnavailable,),
+            base_delay=0.001,
+            sleep=sleeps.append,
+            seed=0,
+        )
+        assert sleeps and sleeps[0] >= 0.25

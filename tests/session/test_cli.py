@@ -76,7 +76,10 @@ class TestDotCommands:
         shell.handle(".shards 4 range")
         assert shell.session.executor_config.shards == 4
         assert shell.session.executor_config.partitioning == "range"
-        assert "shards set to 4 (range partitioning)" in out.getvalue()
+        assert (
+            "shards set to 4 (range partitioning, memory transport)"
+            in out.getvalue()
+        )
         shell.handle(".shards off")
         assert shell.session.executor_config.shards == 1
         assert "shards off" in out.getvalue()
